@@ -1,0 +1,59 @@
+//! Microbenchmarks of the matchers: Greedy's O(n^2) scan, Gale–Shapley's
+//! sort-dominated O(n^2 lg n), the Hungarian algorithm's cubic growth, and
+//! the RL matcher's episode loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use entmatcher_core::{Greedy, Hungarian, MatchContext, Matcher, RlMatcher, StableMarriage};
+use entmatcher_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_scores(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, n, |_, _| rng.gen::<f32>())
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matchers");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    let ctx = MatchContext::default();
+    for &n in &[256usize, 512, 1024] {
+        let scores = random_scores(n, 7);
+        let matchers: Vec<(&str, Box<dyn Matcher>)> = vec![
+            ("Greedy", Box::new(Greedy)),
+            ("Gale-Shapley", Box::new(StableMarriage)),
+            ("Hungarian", Box::new(Hungarian)),
+            ("RL", Box::new(RlMatcher::default())),
+        ];
+        for (name, matcher) in matchers {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bencher, _| {
+                bencher.iter(|| black_box(matcher.run(&scores, &ctx)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_hungarian_scaling(c: &mut Criterion) {
+    // Isolated cubic-growth curve for the assignment solver (the paper's
+    // scalability concern in Table 6).
+    let mut group = c.benchmark_group("hungarian_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    let ctx = MatchContext::default();
+    for &n in &[128usize, 256, 512, 1024] {
+        let scores = random_scores(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| black_box(Hungarian.run(&scores, &ctx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers, bench_hungarian_scaling);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbenchmarks of the score optimizers (CSLS / RInf family /
+//! Sinkhorn), matching the scaling analysis of paper Figure 5 and Table 6:
+//! CSLS is near-free, full RInf pays for its ranking pass, the wr/pb
+//! variants recover most of the cost, and Sinkhorn's cost is linear in l.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use entmatcher_core::{Csls, RInf, RInfProgressive, ScoreOptimizer, Sinkhorn};
+use entmatcher_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_scores(n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, n, |_, _| rng.gen::<f32>() * 2.0 - 1.0)
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("score_optimizers");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for &n in &[512usize, 1024, 2048] {
+        let scores = random_scores(n, 3);
+        let optimizers: Vec<(&str, Box<dyn ScoreOptimizer>)> = vec![
+            ("CSLS_k10", Box::new(Csls { k: 10 })),
+            ("RInf", Box::new(RInf::default())),
+            ("RInf-wr", Box::new(RInf::without_ranking())),
+            ("RInf-pb", Box::new(RInfProgressive::default())),
+            ("Sinkhorn_l100", Box::new(Sinkhorn::default())),
+        ];
+        for (name, opt) in optimizers {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bencher, _| {
+                bencher.iter(|| black_box(opt.apply(scores.clone())));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sinkhorn_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sinkhorn_l_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    let scores = random_scores(1024, 5);
+    for &l in &[10usize, 50, 100, 300] {
+        let opt = Sinkhorn {
+            iterations: l,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |bencher, _| {
+            bencher.iter(|| black_box(opt.apply(scores.clone())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers, bench_sinkhorn_iterations);
+criterion_main!(benches);

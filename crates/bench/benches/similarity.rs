@@ -1,0 +1,39 @@
+//! Microbenchmarks of the pairwise-score kernels (the first stage of every
+//! matching algorithm; paper §2.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use entmatcher_core::{similarity_matrix, SimilarityMetric};
+use entmatcher_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() - 0.5)
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_matrix");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+    for &n in &[512usize, 1024, 2048] {
+        let a = random_embeddings(n, 64, 1);
+        let b = random_embeddings(n, 64, 2);
+        for metric in [
+            SimilarityMetric::Cosine,
+            SimilarityMetric::Euclidean,
+            SimilarityMetric::Manhattan,
+        ] {
+            group.bench_with_input(BenchmarkId::new(metric.name(), n), &n, |bencher, _| {
+                bencher.iter(|| black_box(similarity_matrix(&a, &b, metric)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

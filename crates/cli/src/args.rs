@@ -1,0 +1,127 @@
+//! Argument parsing: a small `--flag value` parser with typed accessors.
+
+use crate::commands::CliError;
+use std::collections::HashMap;
+
+/// A parsed command line: the subcommand plus its `--flag value` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand (`generate`, `stats`, `encode`, `match`, `eval`).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// A required string option.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{name}")))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// An optional float option with a default.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got {v:?}"))),
+        }
+    }
+
+    /// An optional integer option with a default.
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got {v:?}"))),
+        }
+    }
+
+    /// Whether a bare `--flag` (no value) was passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Bare flags that take no value.
+const BARE_FLAGS: &[&str] = &["dummies", "help"];
+
+/// Parses an argv-style slice (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<ParsedArgs, CliError> {
+    let mut it = argv.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| CliError::Usage("no command given".into()))?
+        .clone();
+    let mut options = HashMap::new();
+    let mut flags = Vec::new();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(CliError::Usage(format!(
+                "unexpected positional argument {arg:?}"
+            )));
+        };
+        if BARE_FLAGS.contains(&name) {
+            flags.push(name.to_owned());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::Usage(format!("option --{name} requires a value")))?;
+        if options.insert(name.to_owned(), value.clone()).is_some() {
+            return Err(CliError::Usage(format!("option --{name} given twice")));
+        }
+    }
+    Ok(ParsedArgs {
+        command,
+        options,
+        flags,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let p = parse_args(&argv(&["match", "--data", "d", "--dummies", "--out", "o"])).unwrap();
+        assert_eq!(p.command, "match");
+        assert_eq!(p.require("data").unwrap(), "d");
+        assert_eq!(p.require("out").unwrap(), "o");
+        assert!(p.has_flag("dummies"));
+        assert!(!p.has_flag("help"));
+    }
+
+    #[test]
+    fn typed_accessors_parse_and_default() {
+        let p = parse_args(&argv(&["generate", "--scale", "0.25", "--seed", "7"])).unwrap();
+        assert_eq!(p.get_f64("scale", 1.0).unwrap(), 0.25);
+        assert_eq!(p.get_u64("seed", 0).unwrap(), 7);
+        assert_eq!(p.get_f64("missing", 0.5).unwrap(), 0.5);
+        assert!(p.get_f64("seed", 0.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_args(&argv(&[])).is_err());
+        assert!(parse_args(&argv(&["generate", "stray"])).is_err());
+        assert!(parse_args(&argv(&["generate", "--out"])).is_err());
+        assert!(parse_args(&argv(&["generate", "--out", "a", "--out", "b"])).is_err());
+        let p = parse_args(&argv(&["generate", "--scale", "abc"])).unwrap();
+        assert!(p.get_f64("scale", 1.0).is_err());
+    }
+}

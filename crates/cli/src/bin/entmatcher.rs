@@ -1,0 +1,12 @@
+//! The `entmatcher` command-line binary (see the crate docs for usage).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match entmatcher_cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Command-line workflow for the EntMatcher reproduction.
+//!
+//! Five subcommands compose the full EA pipeline over plain files, so the
+//! library is usable without writing Rust (the role the Python original's
+//! scripts play):
+//!
+//! ```text
+//! entmatcher generate --preset D-Z --scale 0.1 --out data/dz
+//! entmatcher stats    --data data/dz
+//! entmatcher encode   --data data/dz --encoder rrea --out data/dz/emb
+//! entmatcher match    --data data/dz --embeddings data/dz/emb \
+//!                     --algorithm csls --out data/dz/pairs.tsv
+//! entmatcher eval     --data data/dz --pairs data/dz/pairs.tsv
+//! ```
+//!
+//! Datasets are OpenEA-style TSV directories (`triples_1`, `triples_2`,
+//! `ent_links`), so real benchmark dumps drop in for the synthetic
+//! generator's output. Embeddings persist as `entmatcher-linalg` snapshot
+//! files. Every command is a plain function returning its report string,
+//! so the whole surface is unit-testable without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, ParsedArgs};
+pub use commands::{run_command, CliError};
+
+/// Entry point shared by the binary and the tests: dispatches an argv-style
+/// slice and returns the textual report (or an error).
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let parsed = parse_args(argv)?;
+    run_command(&parsed)
+}
+
+/// Usage text printed for `--help` or on argument errors.
+pub const USAGE: &str = "\
+entmatcher <command> [options]
+
+commands:
+  generate  --preset <D-Z|D-J|D-F|S-F|S-D|S-W|S-Y|D-W|D-Y|DBP+|FB-DBP>
+            [--scale F] [--seed N] --out DIR
+            Generate a synthetic benchmark pair as OpenEA-style TSV.
+  stats     --data DIR
+            Print dataset statistics (Table 3 row) and degree profiles.
+  encode    --data DIR --encoder <gcn|rrea|transe|name|fused> [--seed N]
+            --out DIR
+            Learn unified embeddings; writes source.emb / target.emb.
+  match     --data DIR --embeddings DIR
+            --algorithm <dinf|csls|rinf|rinf-wr|rinf-pb|sinkhorn|hungarian|smat|rl>
+            [--dummies] --out FILE
+            Match the test candidates; writes predicted pairs as TSV.
+  eval      --data DIR --pairs FILE
+            Score predicted pairs against the gold test links.
+";

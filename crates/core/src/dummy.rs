@@ -1,0 +1,93 @@
+//! Dummy-node padding for the unmatchable setting (paper §5.1).
+//!
+//! Hungarian and Gale–Shapley assume comparable side sizes; with
+//! unmatchable entities the candidate sets are unbalanced and *no* source
+//! should be forced onto a target. The paper's protocol adds dummy nodes
+//! to the smaller side; an assignment to a dummy means "no match".
+
+use crate::matching::Matching;
+use entmatcher_linalg::Matrix;
+
+/// Pads `scores` to a square matrix with `dummy_score` entries and records
+/// the original shape so assignments into the padding can be stripped.
+#[derive(Debug, Clone)]
+pub struct DummyPadded {
+    /// The padded (square) score matrix.
+    pub scores: Matrix,
+    /// Original source count.
+    pub n_s: usize,
+    /// Original target count.
+    pub n_t: usize,
+}
+
+/// Pads a rectangular score matrix to square with `dummy_score`.
+///
+/// `dummy_score` should sit at the low end of the real score range: a
+/// source is assigned to a dummy only when every real target is taken by
+/// a better-scoring competitor.
+pub fn pad_with_dummies(scores: &Matrix, dummy_score: f32) -> DummyPadded {
+    let (n_s, n_t) = scores.shape();
+    let n = n_s.max(n_t);
+    let mut padded = Matrix::filled(n, n, dummy_score);
+    for (i, row) in scores.iter_rows() {
+        padded.row_mut(i)[..n_t].copy_from_slice(row);
+    }
+    DummyPadded {
+        scores: padded,
+        n_s,
+        n_t,
+    }
+}
+
+impl DummyPadded {
+    /// Translates a matching on the padded matrix back to the original
+    /// shape: dummy rows are dropped, dummy-column assignments become
+    /// `None` (an explicit "unmatchable" decision).
+    pub fn strip(&self, padded: &Matching) -> Matching {
+        let assignment = padded
+            .assignment()
+            .iter()
+            .take(self.n_s)
+            .map(|pick| pick.filter(|&j| (j as usize) < self.n_t))
+            .collect();
+        Matching::new(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{hungarian::Hungarian, MatchContext, Matcher};
+
+    #[test]
+    fn padding_preserves_real_scores() {
+        let s = Matrix::from_vec(2, 3, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]).unwrap();
+        let p = pad_with_dummies(&s, -1.0);
+        assert_eq!(p.scores.shape(), (3, 3));
+        assert_eq!(p.scores.get(0, 1), 0.2);
+        assert_eq!(p.scores.get(2, 0), -1.0);
+    }
+
+    #[test]
+    fn strip_maps_dummy_assignments_to_none() {
+        let s = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.8, 0.7, 0.05, 0.06]).unwrap();
+        let p = pad_with_dummies(&s, 0.0);
+        let padded_matching = Hungarian.run(&p.scores, &MatchContext::default());
+        let m = p.strip(&padded_matching);
+        assert_eq!(m.len(), 3);
+        // Source 2 has only weak scores; the 1-to-1 optimum parks it on
+        // the dummy column => None after stripping.
+        assert_eq!(m.assignment()[2], None);
+        assert_eq!(m.assignment()[0], Some(0));
+        assert_eq!(m.assignment()[1], Some(1));
+    }
+
+    #[test]
+    fn square_input_is_unchanged() {
+        let s = Matrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        let p = pad_with_dummies(&s, -1.0);
+        assert_eq!(p.scores, s);
+        let m = Hungarian.run(&p.scores, &MatchContext::default());
+        assert_eq!(p.strip(&m).assignment(), &[Some(0), Some(1)]);
+    }
+}

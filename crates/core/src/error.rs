@@ -1,0 +1,59 @@
+//! Error type for the matching library.
+
+use std::fmt;
+
+/// Errors surfaced by pipeline construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Source/target embeddings do not share a dimensionality.
+    DimMismatch {
+        /// Source embedding width.
+        source: usize,
+        /// Target embedding width.
+        target: usize,
+    },
+    /// A hyper-parameter was out of its valid range.
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimMismatch { source, target } => {
+                write!(
+                    f,
+                    "embedding dimensionality mismatch: source {source}, target {target}"
+                )
+            }
+            CoreError::BadParameter { name, constraint } => {
+                write!(f, "invalid parameter {name}: {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::DimMismatch {
+            source: 64,
+            target: 128,
+        };
+        assert!(e.to_string().contains("64"));
+        let b = CoreError::BadParameter {
+            name: "k",
+            constraint: "must be >= 1",
+        };
+        assert!(b.to_string().contains("k"));
+    }
+}

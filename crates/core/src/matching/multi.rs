@@ -1,0 +1,283 @@
+//! Multi-assignment matchers — the paper's future direction 5.
+//!
+//! Every algorithm the paper surveys predicts at most one target per
+//! source, which caps recall at the number of distinct sources under
+//! non-1-to-1 gold (§5.2, finding 5: "introduce the notion of probability
+//! ... to produce the alignment results"). This module implements that
+//! direction:
+//!
+//! * [`ThresholdMatcher`] keeps every target whose score clears a relative
+//!   (and optionally absolute) threshold of the row maximum — a simple
+//!   multi-assignment decision rule;
+//! * [`ProbabilisticMatcher`] first converts scores into per-row
+//!   probability distributions via the Sinkhorn operation and keeps every
+//!   target above a probability mass threshold — the probabilistic
+//!   reasoning flavour the paper suggests.
+
+use crate::score::{sinkhorn::Sinkhorn, ScoreOptimizer};
+use entmatcher_linalg::Matrix;
+
+/// A matching that may assign several targets to one source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiMatching {
+    assignments: Vec<Vec<u32>>,
+}
+
+impl MultiMatching {
+    /// Wraps per-source target lists.
+    pub fn new(assignments: Vec<Vec<u32>>) -> Self {
+        MultiMatching { assignments }
+    }
+
+    /// Per-source target lists.
+    pub fn assignments(&self) -> &[Vec<u32>] {
+        &self.assignments
+    }
+
+    /// Iterates over all `(source_idx, target_idx)` predictions.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.assignments
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ts)| ts.iter().map(move |&t| (i, t as usize)))
+    }
+
+    /// Total number of predicted pairs.
+    pub fn total_predictions(&self) -> usize {
+        self.assignments.iter().map(Vec::len).sum()
+    }
+
+    /// Number of sources with at least one prediction.
+    pub fn covered_sources(&self) -> usize {
+        self.assignments.iter().filter(|ts| !ts.is_empty()).count()
+    }
+}
+
+/// Band-threshold multi-assignment: every target whose score lies within
+/// a band below the row maximum is predicted. The band is expressed as a
+/// fraction of the row's *peak-over-mean spread* (`max - mean`), which
+/// makes the rule invariant to the affine shifts that score optimizers
+/// like CSLS apply — a fixed fraction of the maximum would not be.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdMatcher {
+    /// Band width as a fraction of `max - mean`, in `(0, 1]`. Small bands
+    /// keep only near-ties with the best target (duplicate candidates);
+    /// 1.0 keeps everything above the row mean.
+    pub band: f32,
+    /// Optional absolute floor — rows whose maximum is below it predict
+    /// nothing (an unmatchable-abstention knob).
+    pub absolute: Option<f32>,
+    /// Hard cap on predictions per source.
+    pub max_per_source: usize,
+}
+
+impl Default for ThresholdMatcher {
+    fn default() -> Self {
+        ThresholdMatcher {
+            band: 0.08,
+            absolute: None,
+            max_per_source: 3,
+        }
+    }
+}
+
+impl ThresholdMatcher {
+    /// Runs the multi-assignment decision on a score matrix.
+    pub fn run_multi(&self, scores: &Matrix) -> MultiMatching {
+        assert!(
+            self.band > 0.0 && self.band <= 1.0,
+            "band must be in (0, 1]"
+        );
+        let (n_s, n_t) = scores.shape();
+        let mut assignments = Vec::with_capacity(n_s);
+        for i in 0..n_s {
+            let row = scores.row(i);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if n_t == 0 || !max.is_finite() {
+                assignments.push(Vec::new());
+                continue;
+            }
+            if let Some(floor) = self.absolute {
+                if max < floor {
+                    assignments.push(Vec::new());
+                    continue;
+                }
+            }
+            let mean: f32 = row.iter().sum::<f32>() / n_t as f32;
+            let spread = (max - mean).max(f32::EPSILON);
+            let cut = max - self.band * spread;
+            let mut picks: Vec<(u32, f32)> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v >= cut)
+                .map(|(j, &v)| (j as u32, v))
+                .collect();
+            picks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            picks.truncate(self.max_per_source);
+            assignments.push(picks.into_iter().map(|(j, _)| j).collect());
+        }
+        MultiMatching::new(assignments)
+    }
+}
+
+/// Probabilistic multi-assignment: Sinkhorn turns the score matrix into a
+/// (softly doubly-stochastic) probability table; every target holding at
+/// least `min_mass` of a source's row mass is predicted.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbabilisticMatcher {
+    /// Probability mass threshold in `(0, 0.5]` — e.g. 0.25 lets up to
+    /// four targets share one source.
+    pub min_mass: f32,
+    /// Sinkhorn rounds used for the normalization.
+    pub iterations: usize,
+    /// Sinkhorn temperature.
+    pub temperature: f32,
+    /// Hard cap on predictions per source.
+    pub max_per_source: usize,
+}
+
+impl Default for ProbabilisticMatcher {
+    fn default() -> Self {
+        ProbabilisticMatcher {
+            min_mass: 0.2,
+            iterations: 30,
+            temperature: 0.05,
+            max_per_source: 3,
+        }
+    }
+}
+
+impl ProbabilisticMatcher {
+    /// Runs the probabilistic decision on a raw score matrix.
+    pub fn run_multi(&self, scores: &Matrix) -> MultiMatching {
+        assert!(
+            self.min_mass > 0.0 && self.min_mass <= 0.5,
+            "min_mass must be in (0, 0.5]"
+        );
+        let probs = Sinkhorn {
+            iterations: self.iterations,
+            temperature: self.temperature,
+        }
+        .apply(scores.clone());
+        let (n_s, _) = probs.shape();
+        let mut assignments = Vec::with_capacity(n_s);
+        for i in 0..n_s {
+            let row = probs.row(i);
+            let total: f32 = row.iter().sum();
+            if total <= f32::MIN_POSITIVE {
+                assignments.push(Vec::new());
+                continue;
+            }
+            let mut picks: Vec<(u32, f32)> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v / total >= self.min_mass)
+                .map(|(j, &v)| (j as u32, v))
+                .collect();
+            picks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            picks.truncate(self.max_per_source);
+            assignments.push(picks.into_iter().map(|(j, _)| j).collect());
+        }
+        MultiMatching::new(assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_predicts_near_ties_together() {
+        // Row 0 has two near-equal golds; row 1 a single dominant one.
+        let s = Matrix::from_vec(2, 3, vec![0.90, 0.89, 0.10, 0.95, 0.20, 0.10]).unwrap();
+        let m = ThresholdMatcher {
+            band: 0.1,
+            absolute: None,
+            max_per_source: 3,
+        }
+        .run_multi(&s);
+        assert_eq!(m.assignments()[0], vec![0, 1]);
+        assert_eq!(m.assignments()[1], vec![0]);
+        assert_eq!(m.total_predictions(), 3);
+        assert_eq!(m.covered_sources(), 2);
+    }
+
+    #[test]
+    fn absolute_floor_abstains_weak_rows() {
+        let s = Matrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.15]).unwrap();
+        let m = ThresholdMatcher {
+            band: 0.1,
+            absolute: Some(0.5),
+            max_per_source: 3,
+        }
+        .run_multi(&s);
+        assert_eq!(m.assignments()[0], vec![0]);
+        assert!(m.assignments()[1].is_empty(), "weak row must abstain");
+    }
+
+    #[test]
+    fn max_per_source_caps_predictions() {
+        let s = Matrix::from_vec(1, 4, vec![0.9, 0.9, 0.9, 0.9]).unwrap();
+        let m = ThresholdMatcher {
+            band: 0.5,
+            absolute: None,
+            max_per_source: 2,
+        }
+        .run_multi(&s);
+        assert_eq!(m.assignments()[0].len(), 2);
+    }
+
+    #[test]
+    fn negative_score_rows_still_work() {
+        // Shift-invariance: the band rule only sees the row's shape.
+        let s = Matrix::from_vec(1, 3, vec![-0.1, -0.12, -0.9]).unwrap();
+        let m = ThresholdMatcher {
+            band: 0.1,
+            absolute: None,
+            max_per_source: 3,
+        }
+        .run_multi(&s);
+        // max=-0.1, mean=-0.373, cut=-0.127: keeps -0.1 and -0.12.
+        assert_eq!(m.assignments()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn threshold_is_shift_invariant() {
+        let s = Matrix::from_vec(1, 4, vec![0.9, 0.88, 0.3, 0.1]).unwrap();
+        let mut shifted = s.clone();
+        shifted.map_inplace(|v| v - 5.0);
+        let m = ThresholdMatcher::default();
+        assert_eq!(m.run_multi(&s), m.run_multi(&shifted));
+    }
+
+    #[test]
+    fn probabilistic_splits_mass_between_duplicates() {
+        // Source 0 equally drawn to targets 0 and 1 (duplicates); the
+        // probabilistic matcher should predict both.
+        let s = Matrix::from_vec(2, 3, vec![0.9, 0.9, 0.1, 0.1, 0.1, 0.9]).unwrap();
+        let m = ProbabilisticMatcher::default().run_multi(&s);
+        let mut row0 = m.assignments()[0].clone();
+        row0.sort_unstable();
+        assert_eq!(row0, vec![0, 1]);
+        assert_eq!(m.assignments()[1], vec![2]);
+    }
+
+    #[test]
+    fn pairs_iterate_all_predictions() {
+        let m = MultiMatching::new(vec![vec![1, 2], vec![], vec![0]]);
+        let pairs: Vec<_> = m.pairs().collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (2, 0)]);
+        assert_eq!(m.covered_sources(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "band")]
+    fn invalid_band_panics() {
+        ThresholdMatcher {
+            band: 0.0,
+            absolute: None,
+            max_per_source: 1,
+        }
+        .run_multi(&Matrix::zeros(1, 1));
+    }
+}

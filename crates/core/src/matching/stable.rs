@@ -1,0 +1,164 @@
+//! Stable matching via Gale–Shapley deferred acceptance (paper §3.6,
+//! "SMat").
+//!
+//! Sources propose in decreasing score order; each target holds its best
+//! proposal so far (judged by the same score matrix, i.e. both sides rank
+//! by `S`). The result is the source-optimal stable matching: no source/
+//! target pair would both rather be with each other than with their
+//! assigned partners.
+
+use super::{MatchContext, Matcher, Matching};
+use entmatcher_linalg::parallel::par_map_rows;
+use entmatcher_linalg::rank::argsort_desc;
+use entmatcher_linalg::Matrix;
+use std::collections::VecDeque;
+
+/// Gale–Shapley stable matcher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StableMarriage;
+
+impl Matcher for StableMarriage {
+    fn name(&self) -> &'static str {
+        "Gale-Shapley"
+    }
+
+    fn run(&self, scores: &Matrix, _ctx: &MatchContext) -> Matching {
+        let (n_s, n_t) = scores.shape();
+        if n_s == 0 || n_t == 0 {
+            return Matching::new(vec![None; n_s]);
+        }
+        // Full preference lists per source — this is the memory hog that
+        // makes SMat the least space-efficient algorithm in the paper's
+        // Figure 5 / Table 6.
+        let prefs: Vec<Vec<usize>> = par_map_rows(n_s, |i| argsort_desc(scores.row(i)));
+        let mut next_choice = vec![0usize; n_s];
+        let mut engaged_to: Vec<Option<u32>> = vec![None; n_t]; // target -> source
+        let mut queue: VecDeque<usize> = (0..n_s).collect();
+        while let Some(u) = queue.pop_front() {
+            // u proposes down its list until accepted or exhausted.
+            while next_choice[u] < n_t {
+                let v = prefs[u][next_choice[u]];
+                next_choice[u] += 1;
+                match engaged_to[v] {
+                    None => {
+                        engaged_to[v] = Some(u as u32);
+                        break;
+                    }
+                    Some(current) => {
+                        // Target v keeps the better-scoring proposer.
+                        if scores.get(u, v) > scores.get(current as usize, v) {
+                            engaged_to[v] = Some(u as u32);
+                            queue.push_back(current as usize);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let mut assignment = vec![None; n_s];
+        for (v, holder) in engaged_to.iter().enumerate() {
+            if let Some(u) = holder {
+                assignment[*u as usize] = Some(v as u32);
+            }
+        }
+        Matching::new(assignment)
+    }
+
+    fn aux_bytes(&self, n_s: usize, n_t: usize) -> usize {
+        // Full preference lists (n_s * n_t usize) dominate.
+        n_s * n_t * std::mem::size_of::<usize>() + (n_s + n_t) * 16
+    }
+}
+
+/// Checks stability of a matching under the score matrix: returns the
+/// first blocking pair `(u, v)` if any. Exposed for tests and property
+/// checks.
+pub fn find_blocking_pair(scores: &Matrix, matching: &Matching) -> Option<(usize, usize)> {
+    let (n_s, n_t) = scores.shape();
+    let mut partner_of_target: Vec<Option<usize>> = vec![None; n_t];
+    for (u, v) in matching.pairs() {
+        partner_of_target[v] = Some(u);
+    }
+    for u in 0..n_s {
+        let current = matching.assignment()[u];
+        for (v, holder) in partner_of_target.iter().enumerate().take(n_t) {
+            if current == Some(v as u32) {
+                continue;
+            }
+            // Would u prefer v over u's current partner?
+            let u_prefers = match current {
+                Some(cv) => scores.get(u, v) > scores.get(u, cv as usize),
+                None => true,
+            };
+            if !u_prefers {
+                continue;
+            }
+            // Would v prefer u over v's current partner?
+            let v_prefers = match holder {
+                Some(cu) => scores.get(u, v) > scores.get(*cu, v),
+                None => true,
+            };
+            if v_prefers {
+                return Some((u, v));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_stable_and_injective() {
+        let s = Matrix::from_fn(8, 8, |r, c| (((r * 13 + c * 7) % 11) as f32) / 11.0);
+        let m = StableMarriage.run(&s, &MatchContext::default());
+        assert!(m.is_injective());
+        assert_eq!(m.matched_count(), 8);
+        assert_eq!(find_blocking_pair(&s, &m), None);
+    }
+
+    #[test]
+    fn resolves_contested_target_stably() {
+        // Both sources love target 0; target 0 prefers source 0.
+        let s = Matrix::from_vec(2, 2, vec![0.95, 0.50, 0.90, 0.88]).unwrap();
+        let m = StableMarriage.run(&s, &MatchContext::default());
+        assert_eq!(m.assignment(), &[Some(0), Some(1)]);
+        assert_eq!(find_blocking_pair(&s, &m), None);
+    }
+
+    #[test]
+    fn rectangular_more_sources_leaves_some_unmatched() {
+        let s = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.8, 0.7, 0.85, 0.2]).unwrap();
+        let m = StableMarriage.run(&s, &MatchContext::default());
+        assert_eq!(m.matched_count(), 2);
+        assert!(m.is_injective());
+        assert_eq!(find_blocking_pair(&s, &m), None);
+    }
+
+    #[test]
+    fn rectangular_more_targets() {
+        let s = Matrix::from_vec(2, 4, vec![0.1, 0.2, 0.9, 0.3, 0.6, 0.5, 0.8, 0.1]).unwrap();
+        let m = StableMarriage.run(&s, &MatchContext::default());
+        assert_eq!(m.matched_count(), 2);
+        assert_eq!(find_blocking_pair(&s, &m), None);
+    }
+
+    #[test]
+    fn empty_instances() {
+        let m = StableMarriage.run(&Matrix::zeros(3, 0), &MatchContext::default());
+        assert_eq!(m.assignment(), &[None, None, None]);
+        assert!(StableMarriage
+            .run(&Matrix::zeros(0, 3), &MatchContext::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn blocking_pair_detector_flags_unstable_matching() {
+        let s = Matrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        // Swap the obvious assignment: (0->1, 1->0) is unstable.
+        let bad = Matching::new(vec![Some(1), Some(0)]);
+        assert!(find_blocking_pair(&s, &bad).is_some());
+    }
+}

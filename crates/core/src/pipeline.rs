@@ -1,0 +1,213 @@
+//! The end-to-end embedding-matching pipeline (Algorithm 1's
+//! `Embedding_Matching()`): similarity metric -> score optimizer ->
+//! matcher, with wall-time and peak-auxiliary-memory instrumentation
+//! feeding the paper's efficiency analyses (Figure 5, Tables 6–8).
+
+use crate::dummy::pad_with_dummies;
+use crate::matching::{MatchContext, Matcher, Matching};
+use crate::score::ScoreOptimizer;
+use crate::similarity::{similarity_matrix, SimilarityMetric};
+use entmatcher_linalg::Matrix;
+use std::time::{Duration, Instant};
+
+/// A composed matching pipeline.
+pub struct MatchPipeline {
+    /// Similarity metric deriving `S` from the embeddings.
+    pub metric: SimilarityMetric,
+    /// Score optimizer refining `S`.
+    pub optimizer: Box<dyn ScoreOptimizer>,
+    /// Matcher producing aligned pairs.
+    pub matcher: Box<dyn Matcher>,
+    /// Whether to square the score matrix with dummy nodes before matching
+    /// (the paper's unmatchable-setting protocol for Hun./SMat, §5.1).
+    pub pad_dummies: bool,
+    /// Score given to dummy cells when padding, as a quantile of the
+    /// observed score distribution. For the Hungarian matcher the exact
+    /// value is immaterial (the number of dummy assignments is fixed by
+    /// the imbalance, so the dummy score is a constant offset of every
+    /// solution); for Gale–Shapley it acts as an abstention threshold —
+    /// a source proposes to a dummy once all targets scoring above the
+    /// quantile have rejected it.
+    pub dummy_quantile: f64,
+}
+
+/// Outcome of one pipeline execution.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The matching decisions.
+    pub matching: Matching,
+    /// Wall-clock time of similarity + optimization + matching.
+    pub elapsed: Duration,
+    /// Time spent computing the raw similarity matrix.
+    pub similarity_time: Duration,
+    /// Time spent in the score optimizer.
+    pub optimize_time: Duration,
+    /// Time spent in the matcher (including dummy padding).
+    pub match_time: Duration,
+    /// Estimated peak auxiliary heap bytes (score matrix + per-stage
+    /// overhead), the basis of the Figure 5 memory comparison.
+    pub peak_aux_bytes: usize,
+}
+
+/// Estimates a quantile of the score distribution from a deterministic
+/// sample (full sorting of an n^2 matrix would dominate the pipeline).
+fn score_quantile(scores: &Matrix, q: f64) -> f32 {
+    let data = scores.as_slice();
+    if data.is_empty() {
+        return 0.0;
+    }
+    let stride = (data.len() / 20_000).max(1);
+    let mut sample: Vec<f32> = data.iter().step_by(stride).copied().collect();
+    sample.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((sample.len() - 1) as f64 * q).round() as usize;
+    sample[idx]
+}
+
+impl MatchPipeline {
+    /// Composes a pipeline.
+    pub fn new(
+        metric: SimilarityMetric,
+        optimizer: Box<dyn ScoreOptimizer>,
+        matcher: Box<dyn Matcher>,
+    ) -> Self {
+        MatchPipeline {
+            metric,
+            optimizer,
+            matcher,
+            pad_dummies: false,
+            dummy_quantile: 0.9,
+        }
+    }
+
+    /// Enables dummy-node padding (see [`crate::dummy`]) with the given
+    /// score quantile for dummy cells.
+    pub fn with_dummies(mut self, dummy_quantile: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&dummy_quantile),
+            "quantile out of range"
+        );
+        self.pad_dummies = true;
+        self.dummy_quantile = dummy_quantile;
+        self
+    }
+
+    /// Composite name, e.g. `"cosine+CSLS+Greedy"`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}+{}+{}",
+            self.metric.name(),
+            self.optimizer.name(),
+            self.matcher.name()
+        )
+    }
+
+    /// Runs the full pipeline on unified candidate embeddings
+    /// (`n_s x d` source rows, `n_t x d` target rows).
+    pub fn execute(&self, source: &Matrix, target: &Matrix, ctx: &MatchContext) -> ExecutionReport {
+        let start = Instant::now();
+        let (n_s, n_t) = (source.rows(), target.rows());
+        let scores = similarity_matrix(source, target, self.metric);
+        let similarity_time = start.elapsed();
+        let sim_bytes = scores.heap_bytes();
+        let opt_start = Instant::now();
+        let scores = self.optimizer.apply(scores);
+        let optimize_time = opt_start.elapsed();
+        let match_start = Instant::now();
+        let matching = if self.pad_dummies && n_s != n_t {
+            let dummy = score_quantile(&scores, self.dummy_quantile);
+            let padded = pad_with_dummies(&scores, dummy);
+            let m = self.matcher.run(&padded.scores, ctx);
+            padded.strip(&m)
+        } else {
+            self.matcher.run(&scores, ctx)
+        };
+        let match_time = match_start.elapsed();
+        let n = n_s.max(n_t);
+        let pad_bytes = if self.pad_dummies && n_s != n_t {
+            n * n * 4
+        } else {
+            0
+        };
+        let peak_aux_bytes = sim_bytes
+            + self.optimizer.aux_bytes(n_s, n_t)
+            + self.matcher.aux_bytes(n_s, n_t)
+            + pad_bytes;
+        ExecutionReport {
+            matching,
+            elapsed: start.elapsed(),
+            similarity_time,
+            optimize_time,
+            match_time,
+            peak_aux_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::greedy::Greedy;
+    use crate::matching::hungarian::Hungarian;
+    use crate::score::{csls::Csls, NoOp};
+
+    fn toy_embeddings() -> (Matrix, Matrix) {
+        // Three well-separated directions, shared by both sides.
+        let m = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.707, 0.707]).unwrap();
+        (m.clone(), m)
+    }
+
+    #[test]
+    fn dinf_pipeline_matches_identity() {
+        let (s, t) = toy_embeddings();
+        let p = MatchPipeline::new(SimilarityMetric::Cosine, Box::new(NoOp), Box::new(Greedy));
+        let r = p.execute(&s, &t, &MatchContext::default());
+        assert_eq!(r.matching.assignment(), &[Some(0), Some(1), Some(2)]);
+        assert!(r.peak_aux_bytes >= 9 * 4);
+        assert_eq!(p.describe(), "cosine+none+Greedy");
+    }
+
+    #[test]
+    fn csls_pipeline_reports_more_memory_than_dinf() {
+        let (s, t) = toy_embeddings();
+        let dinf = MatchPipeline::new(SimilarityMetric::Cosine, Box::new(NoOp), Box::new(Greedy));
+        let csls = MatchPipeline::new(
+            SimilarityMetric::Cosine,
+            Box::new(Csls::default()),
+            Box::new(Greedy),
+        );
+        let a = dinf.execute(&s, &t, &MatchContext::default());
+        let b = csls.execute(&s, &t, &MatchContext::default());
+        assert!(b.peak_aux_bytes > a.peak_aux_bytes);
+        assert_eq!(a.matching, b.matching);
+    }
+
+    #[test]
+    fn dummy_padding_abstains_on_surplus_sources() {
+        // 3 sources, 2 targets: sources 0/1 match cleanly, source 2 is a
+        // poor fit everywhere and must abstain under Hungarian+dummies.
+        let s = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.4, 0.4]).unwrap();
+        let t = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let p = MatchPipeline::new(
+            SimilarityMetric::Cosine,
+            Box::new(NoOp),
+            Box::new(Hungarian),
+        )
+        .with_dummies(0.75);
+        let r = p.execute(&s, &t, &MatchContext::default());
+        assert_eq!(r.matching.assignment()[0], Some(0));
+        assert_eq!(r.matching.assignment()[1], Some(1));
+        assert_eq!(r.matching.assignment()[2], None);
+    }
+
+    #[test]
+    fn elapsed_is_measured() {
+        let (s, t) = toy_embeddings();
+        let p = MatchPipeline::new(SimilarityMetric::Cosine, Box::new(NoOp), Box::new(Greedy));
+        let r = p.execute(&s, &t, &MatchContext::default());
+        assert!(r.elapsed.as_nanos() > 0);
+        // Stage times are each bounded by the total.
+        assert!(r.similarity_time <= r.elapsed);
+        assert!(r.optimize_time <= r.elapsed);
+        assert!(r.match_time <= r.elapsed);
+    }
+}

@@ -1,0 +1,337 @@
+//! Reciprocal embedding matching (RInf), paper Algorithm 5, plus its
+//! scalability variants RInf-wr and RInf-pb.
+//!
+//! RInf models EA as reciprocal recommendation: the preference of `u`
+//! towards `v` is `u`'s score corrected by `v`'s best alternative,
+//!
+//! `p(u, v) = S(u, v) - max_{u'} S(u', v) + 1`,
+//!
+//! and symmetrically for the target side. Both preference matrices are
+//! converted to per-row *rankings* and averaged; Greedy then runs on the
+//! negated average rank (lower rank = better).
+
+use super::ScoreOptimizer;
+use entmatcher_linalg::parallel::{par_map_rows, par_row_chunks_mut};
+use entmatcher_linalg::rank::{rank_desc, top_k_desc};
+use entmatcher_linalg::Matrix;
+
+/// Full reciprocal optimizer. `ranking = false` yields the RInf-wr
+/// ("without ranking") variant, which averages the raw preference scores
+/// instead — cheaper, slightly less accurate (paper Table 6).
+#[derive(Debug, Clone, Copy)]
+pub struct RInf {
+    /// Whether to apply the ranking conversion (true = full RInf).
+    pub ranking: bool,
+}
+
+impl Default for RInf {
+    fn default() -> Self {
+        RInf { ranking: true }
+    }
+}
+
+impl RInf {
+    /// The RInf-wr variant.
+    pub fn without_ranking() -> Self {
+        RInf { ranking: false }
+    }
+}
+
+impl ScoreOptimizer for RInf {
+    fn name(&self) -> &'static str {
+        if self.ranking {
+            "RInf"
+        } else {
+            "RInf-wr"
+        }
+    }
+
+    fn apply(&self, scores: Matrix) -> Matrix {
+        let (n_s, n_t) = scores.shape();
+        if n_s == 0 || n_t == 0 {
+            return scores;
+        }
+        // Row maxima (best source per target uses column maxima; best
+        // target per source uses row maxima).
+        let row_max: Vec<f32> = par_map_rows(n_s, |i| {
+            scores
+                .row(i)
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        });
+        let transposed = scores.transposed();
+        let col_max: Vec<f32> = par_map_rows(n_t, |j| {
+            transposed
+                .row(j)
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        });
+
+        // P_{s,t}(u,v) = S(u,v) - col_max[v] + 1  (preference of u for v)
+        // P_{t,s}(v,u) = S(u,v) - row_max[u] + 1  (preference of v for u)
+        let mut out = Matrix::zeros(n_s, n_t);
+        if self.ranking {
+            // R_{s,t}: rank P_{s,t} within each source row.
+            let col_max_ref = &col_max;
+            let scores_ref = &scores;
+            let mut rank_st = Matrix::zeros(n_s, n_t);
+            par_row_chunks_mut(rank_st.as_mut_slice(), n_t, |start, chunk| {
+                let mut pref = vec![0.0f32; n_t];
+                for (local, row) in chunk.chunks_exact_mut(n_t).enumerate() {
+                    let srow = scores_ref.row(start + local);
+                    for (v, p) in pref.iter_mut().enumerate() {
+                        *p = srow[v] - col_max_ref[v];
+                    }
+                    for (v, r) in rank_desc(&pref).into_iter().enumerate() {
+                        row[v] = r as f32;
+                    }
+                }
+            });
+            // R_{t,s}: rank P_{t,s} within each target row (columns of S).
+            let row_max_ref = &row_max;
+            let transposed_ref = &transposed;
+            let mut rank_ts = Matrix::zeros(n_t, n_s);
+            par_row_chunks_mut(rank_ts.as_mut_slice(), n_s, |start, chunk| {
+                let mut pref = vec![0.0f32; n_s];
+                for (local, row) in chunk.chunks_exact_mut(n_s).enumerate() {
+                    let trow = transposed_ref.row(start + local);
+                    for (u, p) in pref.iter_mut().enumerate() {
+                        *p = trow[u] - row_max_ref[u];
+                    }
+                    for (u, r) in rank_desc(&pref).into_iter().enumerate() {
+                        row[u] = r as f32;
+                    }
+                }
+            });
+            // P_{s<->t} = (R_{s,t} + R_{t,s}^T) / 2, negated so that the
+            // downstream Greedy keeps its "higher is better" convention.
+            let rank_ts_t = rank_ts.transposed();
+            let rank_st_ref = &rank_st;
+            let rank_ts_ref = &rank_ts_t;
+            par_row_chunks_mut(out.as_mut_slice(), n_t, |start, chunk| {
+                for (local, row) in chunk.chunks_exact_mut(n_t).enumerate() {
+                    let i = start + local;
+                    let a = rank_st_ref.row(i);
+                    let b = rank_ts_ref.row(i);
+                    for (v, x) in row.iter_mut().enumerate() {
+                        *x = -(a[v] + b[v]) / 2.0;
+                    }
+                }
+            });
+        } else {
+            // RInf-wr: average the raw preferences directly.
+            let scores_ref = &scores;
+            let row_max_ref = &row_max;
+            let col_max_ref = &col_max;
+            par_row_chunks_mut(out.as_mut_slice(), n_t, |start, chunk| {
+                for (local, row) in chunk.chunks_exact_mut(n_t).enumerate() {
+                    let i = start + local;
+                    let srow = scores_ref.row(i);
+                    for (v, x) in row.iter_mut().enumerate() {
+                        let p_st = srow[v] - col_max_ref[v] + 1.0;
+                        let p_ts = srow[v] - row_max_ref[i] + 1.0;
+                        *x = (p_st + p_ts) / 2.0;
+                    }
+                }
+            });
+        }
+        out
+    }
+
+    fn aux_bytes(&self, n_s: usize, n_t: usize) -> usize {
+        let cell = n_s * n_t * 4;
+        if self.ranking {
+            // Transposed S, two rank matrices, one transposed rank matrix.
+            4 * cell + (n_s + n_t) * 4
+        } else {
+            // Transposed S only.
+            cell + (n_s + n_t) * 4
+        }
+    }
+}
+
+/// RInf-pb: progressive blocking variant. For each source entity only a
+/// shortlist of the `block` most similar targets enters the reciprocal
+/// ranking; everything else keeps a sentinel low score. This bounds the
+/// ranking workload to `O(n * block lg block)` and the extra memory to
+/// `O(n * block)`, trading a small accuracy drop — the paper's Table 6
+/// shows exactly that profile.
+#[derive(Debug, Clone, Copy)]
+pub struct RInfProgressive {
+    /// Shortlist size per source entity.
+    pub block: usize,
+}
+
+impl Default for RInfProgressive {
+    fn default() -> Self {
+        RInfProgressive { block: 64 }
+    }
+}
+
+impl ScoreOptimizer for RInfProgressive {
+    fn name(&self) -> &'static str {
+        "RInf-pb"
+    }
+
+    fn apply(&self, scores: Matrix) -> Matrix {
+        assert!(self.block >= 1, "block size must be >= 1");
+        let (n_s, n_t) = scores.shape();
+        if n_s == 0 || n_t == 0 {
+            return scores;
+        }
+        let transposed = scores.transposed();
+        let row_max: Vec<f32> = par_map_rows(n_s, |i| {
+            scores
+                .row(i)
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        });
+        let col_max: Vec<f32> = par_map_rows(n_t, |j| {
+            transposed
+                .row(j)
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        });
+
+        // Out-of-shortlist sentinel: worse than any shortlist rank.
+        let sentinel = -(self.block as f32 + n_t as f32);
+        let mut out = Matrix::filled(n_s, n_t, sentinel);
+        let scores_ref = &scores;
+        let row_max_ref = &row_max;
+        let col_max_ref = &col_max;
+        let block = self.block;
+        par_row_chunks_mut(out.as_mut_slice(), n_t, |start, chunk| {
+            for (local, row) in chunk.chunks_exact_mut(n_t).enumerate() {
+                let i = start + local;
+                let srow = scores_ref.row(i);
+                let shortlist = top_k_desc(srow, block);
+                // Reciprocal preference restricted to the shortlist.
+                let prefs: Vec<f32> = shortlist
+                    .iter()
+                    .map(|&v| {
+                        let p_st = srow[v] - col_max_ref[v];
+                        let p_ts = srow[v] - row_max_ref[i];
+                        p_st + p_ts
+                    })
+                    .collect();
+                for (rank, idx) in entmatcher_linalg::argsort_desc(&prefs)
+                    .into_iter()
+                    .enumerate()
+                {
+                    row[shortlist[idx]] = -(rank as f32);
+                }
+            }
+        });
+        out
+    }
+
+    fn aux_bytes(&self, n_s: usize, n_t: usize) -> usize {
+        // Transposed S plus per-row shortlists.
+        n_s * n_t * 4 + n_s * self.block * 8 + (n_s + n_t) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entmatcher_linalg::argmax;
+
+    /// A matrix where greedy-on-raw makes a reciprocal mistake: target 0
+    /// prefers source 0 strongly, so source 1 should back off to target 1.
+    fn contested() -> Matrix {
+        Matrix::from_vec(2, 2, vec![0.95, 0.30, 0.90, 0.85]).unwrap()
+    }
+
+    #[test]
+    fn rinf_resolves_contested_target() {
+        let s = contested();
+        // Raw greedy: source 1 picks target 0 (0.90 > 0.85).
+        assert_eq!(argmax(s.row(1)), Some(0));
+        let out = RInf::default().apply(s);
+        assert_eq!(argmax(out.row(0)), Some(0));
+        assert_eq!(
+            argmax(out.row(1)),
+            Some(1),
+            "reciprocal ranks should divert source 1"
+        );
+    }
+
+    #[test]
+    fn ranking_amplifies_what_wr_averaging_loses() {
+        // The paper's §4.5 observation in miniature: on the contested
+        // instance, RInf-wr's raw-preference average produces an exact tie
+        // for source 1 (the bidirectional aggregation cancels out), while
+        // the ranking conversion preserves the distinction and resolves it.
+        let s = contested();
+        let raw = RInf::without_ranking().apply(s.clone());
+        assert_eq!(
+            raw.get(1, 0),
+            raw.get(1, 1),
+            "wr variant ties on this instance"
+        );
+        let ranked = RInf::default().apply(s);
+        assert_eq!(argmax(ranked.row(1)), Some(1));
+        assert!(ranked.get(1, 1) > ranked.get(1, 0));
+    }
+
+    #[test]
+    fn rinf_scores_are_negated_ranks() {
+        let s = Matrix::from_fn(3, 3, |r, c| ((r * 7 + c * 3) % 5) as f32 * 0.1);
+        let out = RInf::default().apply(s);
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = -out.get(i, j);
+                // Average of two integer ranks: a multiple of 0.5 in range.
+                assert!((0.0..=2.0).contains(&v) && (v * 2.0).fract() == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn progressive_matches_full_on_easy_instances() {
+        // Well-separated diagonal: shortlist covers the true match, so pb
+        // and full RInf agree on decisions.
+        let n = 12;
+        let s = Matrix::from_fn(n, n, |r, c| if r == c { 0.9 } else { 0.1 });
+        let full = RInf::default().apply(s.clone());
+        let pb = RInfProgressive { block: 4 }.apply(s);
+        for i in 0..n {
+            assert_eq!(argmax(full.row(i)), argmax(pb.row(i)));
+        }
+    }
+
+    #[test]
+    fn progressive_sentinel_excludes_out_of_shortlist() {
+        let s = Matrix::from_fn(4, 8, |_, c| 1.0 - 0.1 * c as f32);
+        let pb = RInfProgressive { block: 2 }.apply(s);
+        // Columns beyond the shortlist share the sentinel (strictly lower
+        // than every shortlist score).
+        for i in 0..4 {
+            let row = pb.row(i);
+            let best = argmax(row).unwrap();
+            assert!(best < 2);
+            assert!(row[7] < row[best]);
+        }
+    }
+
+    #[test]
+    fn empty_passthrough() {
+        assert!(RInf::default().apply(Matrix::zeros(0, 0)).is_empty());
+        assert!(RInfProgressive::default()
+            .apply(Matrix::zeros(0, 0))
+            .is_empty());
+    }
+
+    #[test]
+    fn rinf_aux_memory_exceeds_wr_variant() {
+        let full = RInf::default().aux_bytes(1000, 1000);
+        let wr = RInf::without_ranking().aux_bytes(1000, 1000);
+        let pb = RInfProgressive::default().aux_bytes(1000, 1000);
+        assert!(full > wr, "ranking must cost more memory");
+        assert!(full > pb);
+    }
+}

@@ -1,0 +1,191 @@
+//! The Sinkhorn operation (paper Algorithm 6, Equation 3).
+//!
+//! `Sinkhorn^l(S)` alternates row and column normalization of `exp(S/tau)`.
+//! As `l` grows the result approaches a doubly-stochastic matrix that
+//! implicitly encodes a (soft) 1-to-1 assignment; Greedy on the converged
+//! matrix approximates the optimal-transport solution. The paper tunes
+//! `l = 100` (Figure 7) as the effectiveness/efficiency sweet spot.
+
+use super::ScoreOptimizer;
+use entmatcher_linalg::parallel::par_row_chunks_mut;
+use entmatcher_linalg::Matrix;
+
+/// Sinkhorn score optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct Sinkhorn {
+    /// Number of row+column normalization rounds (`l`).
+    pub iterations: usize,
+    /// Softmax temperature: scores are divided by it before
+    /// exponentiation. Cosine scores live in `[-1, 1]`, so a temperature
+    /// well below 1 is needed for the exponential to discriminate — the
+    /// same role the logit-scaling constant plays in the reference
+    /// implementations.
+    pub temperature: f32,
+}
+
+impl Default for Sinkhorn {
+    fn default() -> Self {
+        Sinkhorn {
+            iterations: 100,
+            temperature: 0.02,
+        }
+    }
+}
+
+impl ScoreOptimizer for Sinkhorn {
+    fn name(&self) -> &'static str {
+        "Sinkhorn"
+    }
+
+    fn apply(&self, mut scores: Matrix) -> Matrix {
+        assert!(self.temperature > 0.0, "temperature must be positive");
+        let (n_s, n_t) = scores.shape();
+        if n_s == 0 || n_t == 0 {
+            return scores;
+        }
+        // exp((S - max) / tau): the global shift cancels in the
+        // normalizations but keeps the exponentials in range.
+        let max = scores.max_element().unwrap_or(0.0);
+        let inv_tau = 1.0 / self.temperature;
+        scores.map_inplace(|v| ((v - max) * inv_tau).exp());
+
+        let mut col_sums = vec![0.0f32; n_t];
+        for _ in 0..self.iterations {
+            // Row normalization (parallel, rows are contiguous).
+            par_row_chunks_mut(scores.as_mut_slice(), n_t, |_, chunk| {
+                for row in chunk.chunks_exact_mut(n_t) {
+                    let sum: f32 = row.iter().sum();
+                    if sum > f32::MIN_POSITIVE {
+                        let inv = 1.0 / sum;
+                        for v in row.iter_mut() {
+                            *v *= inv;
+                        }
+                    }
+                }
+            });
+            // Column normalization: accumulate sums, then scale.
+            col_sums.iter_mut().for_each(|v| *v = 0.0);
+            for (_, row) in scores.iter_rows() {
+                for (s, &v) in col_sums.iter_mut().zip(row.iter()) {
+                    *s += v;
+                }
+            }
+            let inv: Vec<f32> = col_sums
+                .iter()
+                .map(|&s| if s > f32::MIN_POSITIVE { 1.0 / s } else { 0.0 })
+                .collect();
+            let inv_ref = &inv;
+            par_row_chunks_mut(scores.as_mut_slice(), n_t, |_, chunk| {
+                for row in chunk.chunks_exact_mut(n_t) {
+                    for (v, &iv) in row.iter_mut().zip(inv_ref.iter()) {
+                        *v *= iv;
+                    }
+                }
+            });
+        }
+        scores
+    }
+
+    fn aux_bytes(&self, _n_s: usize, n_t: usize) -> usize {
+        // In-place on the score matrix; only the column-sum vectors.
+        2 * n_t * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entmatcher_linalg::argmax;
+    use entmatcher_linalg::ops::{col_sums, row_sums};
+
+    #[test]
+    fn output_is_approximately_doubly_stochastic() {
+        let s = Matrix::from_fn(6, 6, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.1);
+        let out = Sinkhorn {
+            iterations: 200,
+            temperature: 0.1,
+        }
+        .apply(s);
+        for r in row_sums(&out) {
+            assert!((r - 1.0).abs() < 1e-3, "row sum {r}");
+        }
+        for c in col_sums(&out) {
+            assert!((c - 1.0).abs() < 0.05, "col sum {c}");
+        }
+    }
+
+    #[test]
+    fn converges_to_permutation_on_clean_input() {
+        // A diagonally dominant matrix must converge to ~identity.
+        let n = 5;
+        let s = Matrix::from_fn(n, n, |r, c| if r == c { 0.9 } else { 0.2 });
+        let out = Sinkhorn {
+            iterations: 100,
+            temperature: 0.05,
+        }
+        .apply(s);
+        for i in 0..n {
+            assert_eq!(argmax(out.row(i)), Some(i));
+            assert!(out.get(i, i) > 0.9, "diagonal mass {}", out.get(i, i));
+        }
+    }
+
+    #[test]
+    fn resolves_greedy_conflicts_via_implicit_one_to_one() {
+        // Both sources prefer target 0, but a 1-to-1 assignment wants
+        // (0 -> 0, 1 -> 1). Greedy on raw scores double-books target 0.
+        let s = Matrix::from_vec(2, 2, vec![0.95, 0.50, 0.90, 0.88]).unwrap();
+        assert_eq!(argmax(s.row(1)), Some(0));
+        let out = Sinkhorn::default().apply(s);
+        assert_eq!(argmax(out.row(0)), Some(0));
+        assert_eq!(argmax(out.row(1)), Some(1));
+    }
+
+    #[test]
+    fn more_iterations_approach_double_stochasticity() {
+        // Asymmetric instance: after one round the column sums still
+        // deviate from 1; convergence tightens them monotonically.
+        let s = Matrix::from_fn(4, 4, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.1);
+        let deviation = |m: &Matrix| -> f32 {
+            col_sums(m).iter().map(|c| (c - 1.0).abs()).sum::<f32>()
+                + row_sums(m).iter().map(|r| (r - 1.0).abs()).sum::<f32>()
+        };
+        let few = Sinkhorn {
+            iterations: 1,
+            temperature: 0.1,
+        }
+        .apply(s.clone());
+        let many = Sinkhorn {
+            iterations: 100,
+            temperature: 0.1,
+        }
+        .apply(s);
+        assert!(
+            deviation(&many) < deviation(&few),
+            "more iterations must reduce deviation: {} vs {}",
+            deviation(&many),
+            deviation(&few)
+        );
+    }
+
+    #[test]
+    fn zero_iterations_is_exp_only() {
+        let s = Matrix::from_vec(1, 2, vec![0.0, 1.0]).unwrap();
+        let out = Sinkhorn {
+            iterations: 0,
+            temperature: 1.0,
+        }
+        .apply(s);
+        // exp shifted by max: exp(-1), exp(0).
+        assert!((out.get(0, 1) - 1.0).abs() < 1e-6);
+        assert!((out.get(0, 0) - (-1.0f32).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rectangular_input_survives() {
+        let s = Matrix::from_fn(3, 7, |r, c| ((r + c) % 4) as f32 * 0.2);
+        let out = Sinkhorn::default().apply(s);
+        assert_eq!(out.shape(), (3, 7));
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,151 @@
+//! Pairwise score computation (the first half of embedding matching).
+//!
+//! Given unified source embeddings (`n_s x d`) and target embeddings
+//! (`n_t x d`), produces the `n_s x n_t` similarity matrix **S**. Following
+//! the paper's convention (§2.2, footnote 3), *higher scores are always
+//! preferred*: distance metrics are negated.
+
+use entmatcher_linalg::parallel::par_row_chunks_mut;
+use entmatcher_linalg::{matmul_transposed, normalize_rows_l2, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Similarity metric between embedding rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimilarityMetric {
+    /// Cosine similarity — the paper's mainstream choice (§4.2).
+    Cosine,
+    /// Negated Euclidean distance.
+    Euclidean,
+    /// Negated Manhattan (L1) distance.
+    Manhattan,
+}
+
+impl SimilarityMetric {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimilarityMetric::Cosine => "cosine",
+            SimilarityMetric::Euclidean => "euclidean",
+            SimilarityMetric::Manhattan => "manhattan",
+        }
+    }
+}
+
+/// Computes the full pairwise score matrix `S` (higher = more similar).
+///
+/// Cosine goes through the normalized matrix product kernel; the distance
+/// metrics stream row pairs in parallel.
+pub fn similarity_matrix(source: &Matrix, target: &Matrix, metric: SimilarityMetric) -> Matrix {
+    assert_eq!(
+        source.cols(),
+        target.cols(),
+        "source and target embeddings must share a dimensionality"
+    );
+    match metric {
+        SimilarityMetric::Cosine => {
+            let mut s = source.clone();
+            let mut t = target.clone();
+            normalize_rows_l2(&mut s);
+            normalize_rows_l2(&mut t);
+            matmul_transposed(&s, &t).expect("dims checked above")
+        }
+        SimilarityMetric::Euclidean => pairwise(source, target, |a, b| {
+            let mut d = 0.0f32;
+            for (x, y) in a.iter().zip(b.iter()) {
+                let diff = x - y;
+                d += diff * diff;
+            }
+            -d.sqrt()
+        }),
+        SimilarityMetric::Manhattan => pairwise(source, target, |a, b| {
+            let mut d = 0.0f32;
+            for (x, y) in a.iter().zip(b.iter()) {
+                d += (x - y).abs();
+            }
+            -d
+        }),
+    }
+}
+
+fn pairwise(source: &Matrix, target: &Matrix, f: impl Fn(&[f32], &[f32]) -> f32 + Sync) -> Matrix {
+    let (m, n) = (source.rows(), target.rows());
+    let mut out = Matrix::zeros(m, n);
+    par_row_chunks_mut(out.as_mut_slice(), n.max(1), |start_row, chunk| {
+        for (local, out_row) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+            let a = source.row(start_row + local);
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                *slot = f(a, target.row(j));
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn cosine_of_identical_rows_is_one() {
+        let m = Matrix::from_vec(2, 2, vec![3.0, 4.0, 1.0, 0.0]).unwrap();
+        let s = similarity_matrix(&m, &m, SimilarityMetric::Cosine);
+        assert!(approx(s.get(0, 0), 1.0));
+        assert!(approx(s.get(1, 1), 1.0));
+        // cos between (3,4) and (1,0) = 3/5.
+        assert!(approx(s.get(0, 1), 0.6));
+    }
+
+    #[test]
+    fn euclidean_is_negated_distance() {
+        let a = Matrix::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]).unwrap();
+        let s = similarity_matrix(&a, &b, SimilarityMetric::Euclidean);
+        assert!(approx(s.get(0, 0), -5.0));
+        assert!(approx(s.get(0, 1), 0.0));
+    }
+
+    #[test]
+    fn manhattan_is_negated_l1() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 1.0]).unwrap();
+        let b = Matrix::from_vec(1, 2, vec![-1.0, 2.0]).unwrap();
+        let s = similarity_matrix(&a, &b, SimilarityMetric::Manhattan);
+        assert!(approx(s.get(0, 0), -3.0));
+    }
+
+    #[test]
+    fn all_metrics_rank_self_highest() {
+        // Distinct, well-separated rows: each row's best match is itself.
+        let m = Matrix::from_fn(5, 4, |r, c| if r == c { 2.0 } else { 0.1 * (r + c) as f32 });
+        for metric in [
+            SimilarityMetric::Cosine,
+            SimilarityMetric::Euclidean,
+            SimilarityMetric::Manhattan,
+        ] {
+            let s = similarity_matrix(&m, &m, metric);
+            for i in 0..5 {
+                let best = entmatcher_linalg::argmax(s.row(i)).unwrap();
+                assert_eq!(best, i, "{} failed for row {i}", metric.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn dim_mismatch_panics() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(1, 3);
+        similarity_matrix(&a, &b, SimilarityMetric::Cosine);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * c) as f32);
+        let b = Matrix::from_fn(7, 4, |r, c| (r + c) as f32);
+        let s = similarity_matrix(&a, &b, SimilarityMetric::Cosine);
+        assert_eq!(s.shape(), (3, 7));
+    }
+}

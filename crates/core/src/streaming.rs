@@ -1,0 +1,240 @@
+//! Streaming (blocked) matching with sub-quadratic memory — the paper's
+//! future direction 4 and the "preliminary exploration" it cites
+//! (ClusterEA's normalized mini-batch similarities).
+//!
+//! Every dense algorithm in this library materializes the full `n_s x n_t`
+//! score matrix; at DWY100K scale that alone is ~20 GB (paper Table 6).
+//! The streaming kernels here recompute similarity block by block and keep
+//! only O(n) state:
+//!
+//! * [`streaming_greedy`] — DInf without the matrix: per-source running
+//!   argmax over target blocks;
+//! * [`streaming_csls`] — CSLS without the matrix: two passes; the first
+//!   accumulates both sides' top-k statistics with bounded per-entity
+//!   heaps, the second applies the CSLS correction on the fly.
+//!
+//! Both produce *bit-identical decisions* to their dense counterparts
+//! (asserted by tests), trading one extra similarity computation pass for
+//! an O(n^2) -> O(n·k + b·n) memory drop.
+
+use crate::matching::Matching;
+use crate::similarity::{similarity_matrix, SimilarityMetric};
+use entmatcher_linalg::Matrix;
+
+/// Default target-block width (rows of the similarity strip computed at
+/// once). Bigger blocks amortize the pass overhead; memory is `b * n_s`.
+pub const DEFAULT_BLOCK: usize = 1024;
+
+/// Greedy matching without materializing the score matrix: iterates target
+/// blocks, updating each source's best candidate. Memory: O(n_s + block·d).
+pub fn streaming_greedy(
+    source: &Matrix,
+    target: &Matrix,
+    metric: SimilarityMetric,
+    block: usize,
+) -> Matching {
+    assert!(block > 0, "block size must be positive");
+    let n_s = source.rows();
+    let n_t = target.rows();
+    let mut best: Vec<(Option<u32>, f32)> = vec![(None, f32::NEG_INFINITY); n_s];
+    let mut start = 0usize;
+    while start < n_t {
+        let end = (start + block).min(n_t);
+        let idx: Vec<usize> = (start..end).collect();
+        let strip = target.select_rows(&idx).expect("block in range");
+        let scores = similarity_matrix(source, &strip, metric);
+        for (i, slot) in best.iter_mut().enumerate() {
+            for (local, &v) in scores.row(i).iter().enumerate() {
+                if v > slot.1 {
+                    *slot = (Some((start + local) as u32), v);
+                }
+            }
+        }
+        start = end;
+    }
+    Matching::new(best.into_iter().map(|(j, _)| j).collect())
+}
+
+/// Bounded top-k accumulator: keeps the k largest values seen.
+#[derive(Debug, Clone)]
+struct TopK {
+    k: usize,
+    values: Vec<f32>, // unsorted, len <= k; values[min_idx] is the smallest
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK {
+            k,
+            values: Vec::with_capacity(k),
+        }
+    }
+
+    fn push(&mut self, v: f32) {
+        if self.values.len() < self.k {
+            self.values.push(v);
+            return;
+        }
+        // Replace the current minimum if beaten.
+        let (mi, &mv) = self
+            .values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty");
+        if v > mv {
+            self.values[mi] = v;
+        }
+    }
+
+    fn mean(&self) -> f32 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f32>() / self.values.len() as f32
+        }
+    }
+}
+
+/// CSLS + Greedy without materializing the score matrix.
+///
+/// Pass 1 streams target blocks accumulating each side's top-k statistics;
+/// pass 2 streams again applying `2S - phi_s - phi_t` and tracking the
+/// per-source argmax. Decisions equal the dense `Csls{k}` + `Greedy` path.
+pub fn streaming_csls(
+    source: &Matrix,
+    target: &Matrix,
+    metric: SimilarityMetric,
+    k: usize,
+    block: usize,
+) -> Matching {
+    assert!(k >= 1, "CSLS requires k >= 1");
+    assert!(block > 0, "block size must be positive");
+    let n_s = source.rows();
+    let n_t = target.rows();
+    if n_s == 0 || n_t == 0 {
+        return Matching::new(vec![None; n_s]);
+    }
+    // Pass 1: top-k accumulators on both sides.
+    let mut top_s: Vec<TopK> = (0..n_s).map(|_| TopK::new(k)).collect();
+    let mut top_t: Vec<TopK> = (0..n_t).map(|_| TopK::new(k)).collect();
+    let mut start = 0usize;
+    while start < n_t {
+        let end = (start + block).min(n_t);
+        let idx: Vec<usize> = (start..end).collect();
+        let strip = target.select_rows(&idx).expect("block in range");
+        let scores = similarity_matrix(source, &strip, metric);
+        for (i, acc) in top_s.iter_mut().enumerate() {
+            for (local, &v) in scores.row(i).iter().enumerate() {
+                acc.push(v);
+                top_t[start + local].push(v);
+            }
+        }
+        start = end;
+    }
+    let phi_s: Vec<f32> = top_s.iter().map(TopK::mean).collect();
+    let phi_t: Vec<f32> = top_t.iter().map(TopK::mean).collect();
+
+    // Pass 2: argmax of the corrected scores.
+    let mut best: Vec<(Option<u32>, f32)> = vec![(None, f32::NEG_INFINITY); n_s];
+    let mut start = 0usize;
+    while start < n_t {
+        let end = (start + block).min(n_t);
+        let idx: Vec<usize> = (start..end).collect();
+        let strip = target.select_rows(&idx).expect("block in range");
+        let scores = similarity_matrix(source, &strip, metric);
+        for (i, slot) in best.iter_mut().enumerate() {
+            for (local, &v) in scores.row(i).iter().enumerate() {
+                let corrected = 2.0 * v - phi_s[i] - phi_t[start + local];
+                if corrected > slot.1 {
+                    *slot = (Some((start + local) as u32), corrected);
+                }
+            }
+        }
+        start = end;
+    }
+    Matching::new(best.into_iter().map(|(j, _)| j).collect())
+}
+
+/// Peak auxiliary bytes of the streaming kernels for an `n_s x n_t`
+/// instance — the number the scalability experiment compares against the
+/// dense pipelines' O(n^2).
+pub fn streaming_aux_bytes(n_s: usize, n_t: usize, k: usize, block: usize, dim: usize) -> usize {
+    let strip = block.min(n_t) * n_s * 4; // one similarity strip
+    let heaps = (n_s + n_t) * k * 4;
+    let block_rows = block.min(n_t) * dim * 4;
+    strip + heaps + block_rows + n_s * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::greedy::Greedy;
+    use crate::matching::{MatchContext, Matcher};
+    use crate::score::csls::Csls;
+    use crate::score::ScoreOptimizer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() - 0.5)
+    }
+
+    #[test]
+    fn streaming_greedy_matches_dense_dinf() {
+        let s = random_embeddings(120, 16, 1);
+        let t = random_embeddings(90, 16, 2);
+        let dense_scores = similarity_matrix(&s, &t, SimilarityMetric::Cosine);
+        let dense = Greedy.run(&dense_scores, &MatchContext::default());
+        for block in [1usize, 7, 64, 1000] {
+            let stream = streaming_greedy(&s, &t, SimilarityMetric::Cosine, block);
+            assert_eq!(stream, dense, "block {block} diverged");
+        }
+    }
+
+    #[test]
+    fn streaming_csls_matches_dense_csls() {
+        let s = random_embeddings(80, 16, 3);
+        let t = random_embeddings(110, 16, 4);
+        let k = 5;
+        let dense_scores = similarity_matrix(&s, &t, SimilarityMetric::Cosine);
+        let dense = Greedy.run(&Csls { k }.apply(dense_scores), &MatchContext::default());
+        for block in [13usize, 64, 500] {
+            let stream = streaming_csls(&s, &t, SimilarityMetric::Cosine, k, block);
+            assert_eq!(stream, dense, "block {block} diverged");
+        }
+    }
+
+    #[test]
+    fn streaming_handles_empty_sides() {
+        let s = random_embeddings(5, 4, 5);
+        let empty = Matrix::zeros(0, 4);
+        let m = streaming_greedy(&s, &empty, SimilarityMetric::Cosine, 8);
+        assert_eq!(m.assignment(), &[None; 5]);
+        let m2 = streaming_csls(&s, &empty, SimilarityMetric::Cosine, 3, 8);
+        assert_eq!(m2.assignment(), &[None; 5]);
+    }
+
+    #[test]
+    fn aux_bytes_are_far_below_dense() {
+        let dense = 70_000usize * 70_000 * 4;
+        let streaming = streaming_aux_bytes(70_000, 70_000, 10, DEFAULT_BLOCK, 64);
+        assert!(
+            streaming * 10 < dense,
+            "streaming {streaming} vs dense {dense}"
+        );
+    }
+
+    #[test]
+    fn topk_accumulator_tracks_largest() {
+        let mut t = TopK::new(3);
+        for v in [0.1, 0.9, 0.3, 0.8, 0.2, 0.7] {
+            t.push(v);
+        }
+        let mut vals = t.values.clone();
+        vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(vals, vec![0.9, 0.8, 0.7]);
+        assert!((t.mean() - 0.8).abs() < 1e-6);
+    }
+}

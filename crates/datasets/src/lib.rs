@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Synthetic EA benchmark generators.
+//!
+//! The paper evaluates on DBP15K, SRPRS, DWY100K, DBP15K+ (unmatchable
+//! entities) and FB_DBP_MUL (non-1-to-1 links). Those corpora are multi-GB
+//! DBpedia/Wikidata/YAGO/Freebase extractions; this crate substitutes them
+//! with a parametric generator that reproduces each benchmark's published
+//! statistics (Table 3) and structural character (see `DESIGN.md` §3):
+//!
+//! 1. A **latent graph** over equivalence classes is sampled with a
+//!    configurable degree distribution (uniform-ish for DBP15K, power-law
+//!    for the "real-life entity distribution" of SRPRS).
+//! 2. Two **heterogeneous views** are materialized — each latent edge is
+//!    either shared by both KGs or exclusive to one, controlled by a
+//!    heterogeneity knob. Equivalent entities therefore have *similar but
+//!    not isomorphic* neighbourhoods, exactly the regime of paper Figure 1
+//!    (b)/(c).
+//! 3. Classes may expand to **multi-entity clusters** (non-1-to-1 links),
+//!    extra entities may be **unmatchable** (present in the candidate sets
+//!    with no gold link) or **fillers** (graph noise, never evaluated).
+//! 4. Entities carry synthetic **names** whose cross-KG similarity is
+//!    controlled by a noise knob, supporting the paper's auxiliary-
+//!    information experiments (Table 5).
+//!
+//! Everything is deterministic given the spec's seed.
+
+pub mod benchmarks;
+pub mod latent;
+pub mod materialize;
+pub mod names;
+pub mod spec;
+pub mod zipf;
+
+pub use benchmarks::{dbp15k, dbp15k_plus, dwy100k, fb_dbp_mul, srprs, BenchmarkSuite};
+pub use materialize::generate_pair;
+pub use spec::{DegreeModel, PairSpec};

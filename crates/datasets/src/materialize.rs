@@ -1,0 +1,474 @@
+//! Materializes a [`PairSpec`] into a concrete [`KgPair`]: two KG views of
+//! the latent graph, gold links (1-to-1 or clustered), unmatchables,
+//! fillers, and synthetic names.
+
+use crate::latent::LatentGraph;
+use crate::names;
+use crate::spec::PairSpec;
+use entmatcher_graph::{
+    AlignmentSet, EntityId, KgBuilder, KgPair, KnowledgeGraph, Link, RelationId, Triple,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How many source/target copies a class materializes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ClusterShape {
+    source: u8,
+    target: u8,
+}
+
+const ONE_TO_ONE: ClusterShape = ClusterShape {
+    source: 1,
+    target: 1,
+};
+
+/// Multi-cluster shapes and their sampling weights, chosen so a mostly-multi
+/// dataset reproduces FB_DBP_MUL's mix of 1-to-many, many-to-1 and
+/// many-to-many links.
+const MULTI_SHAPES: &[(ClusterShape, f64)] = &[
+    (
+        ClusterShape {
+            source: 1,
+            target: 2,
+        },
+        0.30,
+    ),
+    (
+        ClusterShape {
+            source: 2,
+            target: 1,
+        },
+        0.40,
+    ),
+    (
+        ClusterShape {
+            source: 2,
+            target: 2,
+        },
+        0.15,
+    ),
+    (
+        ClusterShape {
+            source: 1,
+            target: 3,
+        },
+        0.05,
+    ),
+    (
+        ClusterShape {
+            source: 3,
+            target: 1,
+        },
+        0.10,
+    ),
+];
+
+/// Role of a generated entity.
+#[derive(Debug, Clone, Copy)]
+enum EntityKind {
+    /// A materialization of equivalence class `class`.
+    Class { class: u32 },
+    /// Unmatchable: evaluated at test time, no gold link (DBP15K+).
+    Unmatchable,
+    /// Filler: structural noise, never evaluated.
+    Filler,
+}
+
+#[derive(Debug, Clone)]
+struct EntityDesc {
+    kind: EntityKind,
+    uri: String,
+}
+
+/// Per-side id bookkeeping produced while interning entities.
+struct SideView {
+    kg: KnowledgeGraph,
+    /// `class -> EntityId`s of its copies on this side.
+    class_entities: Vec<Vec<EntityId>>,
+    /// Unmatchable entity ids.
+    unmatchable: Vec<EntityId>,
+}
+
+/// Generates the full KG pair described by `spec`.
+///
+/// Deterministic: the same spec yields byte-identical graphs.
+pub fn generate_pair(spec: &PairSpec) -> KgPair {
+    spec.validate();
+    let latent = LatentGraph::generate(spec);
+
+    // --- Cluster shapes -------------------------------------------------
+    let mut shape_rng = StdRng::seed_from_u64(spec.seed ^ 0xC1A5_7E25);
+    let shapes: Vec<ClusterShape> = (0..spec.classes)
+        .map(|_| {
+            if spec.multi_frac > 0.0 && shape_rng.gen_bool(spec.multi_frac) {
+                sample_shape(&mut shape_rng)
+            } else {
+                ONE_TO_ONE
+            }
+        })
+        .collect();
+
+    // --- Build both views -------------------------------------------------
+    let source_edges: Vec<(u32, u32, u32)> = latent
+        .source_edges()
+        .map(|e| (e.head, e.tail, e.relation))
+        .collect();
+    let target_edges: Vec<(u32, u32, u32)> = latent
+        .target_edges()
+        .map(|e| (e.head, e.tail, e.relation))
+        .collect();
+    let src = build_view(spec, Side::Source, &shapes, &source_edges);
+    let tgt = build_view(spec, Side::Target, &shapes, &target_edges);
+
+    // --- Gold links: full bipartite product inside each class cluster ----
+    let mut links = Vec::new();
+    for class in 0..spec.classes {
+        for &u in &src.class_entities[class] {
+            for &v in &tgt.class_entities[class] {
+                links.push(Link::new(u, v));
+            }
+        }
+    }
+    let gold = AlignmentSet::new(links);
+
+    let mut pair = KgPair::new(spec.id.clone(), src.kg, tgt.kg, gold, spec.seed)
+        .expect("generator produces valid splits");
+    pair.unmatchable_sources = src.unmatchable;
+    pair.unmatchable_targets = tgt.unmatchable;
+    pair
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Side {
+    Source,
+    Target,
+}
+
+fn sample_shape(rng: &mut StdRng) -> ClusterShape {
+    let total: f64 = MULTI_SHAPES.iter().map(|(_, w)| w).sum();
+    let mut x = rng.gen_range(0.0..total);
+    for &(shape, w) in MULTI_SHAPES {
+        if x < w {
+            return shape;
+        }
+        x -= w;
+    }
+    MULTI_SHAPES[MULTI_SHAPES.len() - 1].0
+}
+
+/// Interns entities (in shuffled order) and materializes triples for one
+/// KG view, returning the graph plus role bookkeeping.
+fn build_view(
+    spec: &PairSpec,
+    side: Side,
+    shapes: &[ClusterShape],
+    latent_edges: &[(u32, u32, u32)],
+) -> SideView {
+    let (kg_name, side_tag, salt) = match side {
+        Side::Source => ("KG1", "kg1", 0x51u64),
+        Side::Target => ("KG2", "kg2", 0x7Au64),
+    };
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ salt.rotate_left(32) ^ 0xDE5C);
+
+    // Descriptor list, then shuffle so ids leak no alignment information.
+    let mut descs: Vec<EntityDesc> = Vec::new();
+    for (class, shape) in shapes.iter().enumerate() {
+        let copies = match side {
+            Side::Source => shape.source,
+            Side::Target => shape.target,
+        };
+        let base = names::class_name(class as u64, spec.seed);
+        // The source KG keeps base names; the target KG perturbs them,
+        // modelling cross-lingual drift (paper Table 5 regime).
+        let display = match side {
+            Side::Source => base,
+            Side::Target => names::perturb(&base, spec.name_noise, &mut rng),
+        };
+        for _ in 0..copies {
+            let uid = descs.len();
+            descs.push(EntityDesc {
+                kind: EntityKind::Class {
+                    class: class as u32,
+                },
+                uri: names::make_uri(side_tag, &display, uid),
+            });
+        }
+    }
+    let unmatchable_count = match side {
+        Side::Source => spec.unmatchable_per_kg,
+        Side::Target => spec.unmatchable_targets.unwrap_or(spec.unmatchable_per_kg),
+    };
+    for _ in 0..unmatchable_count {
+        let uid = descs.len();
+        let display = names::random_name(&mut rng);
+        descs.push(EntityDesc {
+            kind: EntityKind::Unmatchable,
+            uri: names::make_uri(side_tag, &display, uid),
+        });
+    }
+    for _ in 0..spec.fillers_per_kg {
+        let uid = descs.len();
+        let display = names::random_name(&mut rng);
+        descs.push(EntityDesc {
+            kind: EntityKind::Filler,
+            uri: names::make_uri(side_tag, &display, uid),
+        });
+    }
+    descs.shuffle(&mut rng);
+
+    // Intern entities and relations.
+    let mut builder = KgBuilder::new(kg_name);
+    let mut class_entities: Vec<Vec<EntityId>> = vec![Vec::new(); spec.classes];
+    let mut unmatchable = Vec::new();
+    let mut fillers = Vec::new();
+    for desc in &descs {
+        let id = builder.add_entity(&desc.uri);
+        match desc.kind {
+            EntityKind::Class { class } => class_entities[class as usize].push(id),
+            EntityKind::Unmatchable => unmatchable.push(id),
+            EntityKind::Filler => fillers.push(id),
+        }
+    }
+    for r in 0..spec.relations {
+        builder.add_relation(&format!("rel{r}"));
+    }
+
+    // Latent structural edges, distributed over class copies. When a class
+    // has several copies, each copy inherits the edge with probability
+    // `copy_edge_keep` (at least one copy always carries it), so duplicates
+    // share most — but not all — of their neighbourhood.
+    for &(head, tail, rel) in latent_edges {
+        let heads = &class_entities[head as usize];
+        let tails = &class_entities[tail as usize];
+        if heads.is_empty() || tails.is_empty() {
+            continue;
+        }
+        let mut carried = false;
+        for &h in heads {
+            let keep = heads.len() == 1 || rng.gen_bool(spec.copy_edge_keep);
+            if keep {
+                let t = tails[rng.gen_range(0..tails.len())];
+                builder.add_triple_ids(Triple::new(h, RelationId(rel), t));
+                carried = true;
+            }
+        }
+        if !carried {
+            let h = heads[rng.gen_range(0..heads.len())];
+            let t = tails[rng.gen_range(0..tails.len())];
+            builder.add_triple_ids(Triple::new(h, RelationId(rel), t));
+        }
+    }
+
+    // Every class entity must be structurally present: real benchmarks
+    // only link entities that occur in triples (and the TSV dump format
+    // cannot represent isolated entities). Low-weight classes under the
+    // power-law model can miss out on latent edges; attach them.
+    let all_class_entities: Vec<EntityId> = class_entities.iter().flatten().copied().collect();
+    {
+        let mut has_edge = vec![false; builder.num_entities()];
+        for t in builder.triples() {
+            has_edge[t.subject.index()] = true;
+            has_edge[t.object.index()] = true;
+        }
+        if all_class_entities.len() > 1 {
+            for &e in &all_class_entities {
+                if !has_edge[e.index()] {
+                    let mut other = all_class_entities[rng.gen_range(0..all_class_entities.len())];
+                    while other == e {
+                        other = all_class_entities[rng.gen_range(0..all_class_entities.len())];
+                    }
+                    let rel = RelationId(rng.gen_range(0..spec.relations) as u32);
+                    builder.add_triple_ids(Triple::new(e, rel, other));
+                }
+            }
+        }
+    }
+
+    // Attachment edges for fillers and unmatchables: 1–3 connections into
+    // random class copies, so they are structurally embedded (and thus
+    // plausible false candidates) rather than isolated points.
+    for &extra in unmatchable.iter().chain(fillers.iter()) {
+        if all_class_entities.is_empty() {
+            break;
+        }
+        let degree = rng.gen_range(1..=3);
+        for _ in 0..degree {
+            let other = all_class_entities[rng.gen_range(0..all_class_entities.len())];
+            let rel = RelationId(rng.gen_range(0..spec.relations) as u32);
+            let triple = if rng.gen_bool(0.5) {
+                Triple::new(extra, rel, other)
+            } else {
+                Triple::new(other, rel, extra)
+            };
+            builder.add_triple_ids(triple);
+        }
+    }
+
+    let kg = builder.build().expect("generated ids are dense and valid");
+    SideView {
+        kg,
+        class_entities,
+        unmatchable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> PairSpec {
+        PairSpec {
+            id: "T".to_owned(),
+            classes: 300,
+            fillers_per_kg: 30,
+            unmatchable_per_kg: 0,
+            relations: 20,
+            latent_edges: 1500,
+            heterogeneity: 0.4,
+            name_noise: 0.3,
+            multi_frac: 0.0,
+            seed: 77,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn one_to_one_pair_shape() {
+        let pair = generate_pair(&base_spec());
+        assert_eq!(pair.gold.len(), 300);
+        assert!(pair.gold.is_one_to_one());
+        assert_eq!(pair.source.num_entities(), 330);
+        assert_eq!(pair.target.num_entities(), 330);
+        assert!(pair.unmatchable_sources.is_empty());
+        // Triples: ~latent*(1-h/2)=1200 plus filler attachments (30..90).
+        let t = pair.source.num_triples();
+        assert!((1100..1500).contains(&t), "unexpected triple count {t}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_pair(&base_spec());
+        let b = generate_pair(&base_spec());
+        assert_eq!(a.gold, b.gold);
+        assert_eq!(a.source.num_triples(), b.source.num_triples());
+        assert_eq!(a.splits.train, b.splits.train);
+    }
+
+    #[test]
+    fn seeds_change_output() {
+        let a = generate_pair(&base_spec());
+        let b = generate_pair(&PairSpec {
+            seed: 78,
+            ..base_spec()
+        });
+        assert_ne!(a.splits.train, b.splits.train);
+    }
+
+    #[test]
+    fn unmatchable_entities_are_recorded_and_link_free() {
+        let spec = PairSpec {
+            unmatchable_per_kg: 40,
+            ..base_spec()
+        };
+        let pair = generate_pair(&spec);
+        assert_eq!(pair.unmatchable_sources.len(), 40);
+        assert_eq!(pair.unmatchable_targets.len(), 40);
+        let gold_sources: std::collections::HashSet<_> =
+            pair.gold.iter().map(|l| l.source).collect();
+        for u in &pair.unmatchable_sources {
+            assert!(
+                !gold_sources.contains(u),
+                "unmatchable entity has a gold link"
+            );
+        }
+        // They are embedded in the graph, not isolated.
+        let connected = pair
+            .unmatchable_sources
+            .iter()
+            .filter(|&&u| pair.source.adjacency().degree(u) > 0)
+            .count();
+        assert!(connected > 30);
+    }
+
+    #[test]
+    fn multi_frac_produces_non_one_to_one_links() {
+        let spec = PairSpec {
+            multi_frac: 0.8,
+            ..base_spec()
+        };
+        let pair = generate_pair(&spec);
+        assert!(!pair.gold.is_one_to_one());
+        let (one, multi) = pair.gold.link_multiplicity();
+        assert!(
+            multi > one,
+            "expected mostly multi links: one={one}, multi={multi}"
+        );
+        // Cluster-preserving split applies (70/10/20 by link count, roughly).
+        let train_frac = pair.splits.train.len() as f64 / pair.gold.len() as f64;
+        assert!(
+            (0.6..0.8).contains(&train_frac),
+            "train fraction {train_frac}"
+        );
+    }
+
+    #[test]
+    fn entity_ids_do_not_encode_alignment() {
+        // After shuffling, the identity permutation should NOT align: count
+        // how many gold links have source.0 == target.0.
+        let pair = generate_pair(&base_spec());
+        let same = pair
+            .gold
+            .iter()
+            .filter(|l| l.source.0 == l.target.0)
+            .count();
+        assert!(
+            same < pair.gold.len() / 10,
+            "ids leak alignment: {same} identical"
+        );
+    }
+
+    #[test]
+    fn names_are_similar_across_kgs() {
+        let pair = generate_pair(&base_spec());
+        // For a sample of links, the local names should share a first char
+        // far more often than chance.
+        let mut matching_first_char = 0;
+        let links: Vec<_> = pair.gold.iter().take(100).collect();
+        for l in &links {
+            let su = pair.source.entity_name(l.source).unwrap();
+            let tv = pair.target.entity_name(l.target).unwrap();
+            let a = crate::names::local_name(su);
+            let b = crate::names::local_name(tv);
+            if a.chars().next() == b.chars().next() {
+                matching_first_char += 1;
+            }
+        }
+        assert!(
+            matching_first_char > 70,
+            "names too noisy: {matching_first_char}/100"
+        );
+    }
+
+    #[test]
+    fn relations_have_symbols() {
+        let pair = generate_pair(&base_spec());
+        assert_eq!(pair.source.num_relations(), 20);
+        assert_eq!(pair.source.relation_name(RelationId(0)), Some("rel0"));
+    }
+
+    #[test]
+    fn higher_heterogeneity_means_fewer_shared_triples() {
+        let lo = generate_pair(&PairSpec {
+            heterogeneity: 0.1,
+            ..base_spec()
+        });
+        let hi = generate_pair(&PairSpec {
+            heterogeneity: 0.9,
+            ..base_spec()
+        });
+        // With h=0.1 each view keeps ~95% of latent edges; with h=0.9 ~55%.
+        assert!(lo.source.num_triples() > hi.source.num_triples());
+    }
+}

@@ -1,0 +1,187 @@
+//! Generator specification for one synthetic benchmark KG pair.
+
+use serde::{Deserialize, Serialize};
+
+/// Degree model of the latent graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DegreeModel {
+    /// All classes equally likely as edge endpoints (dense, DBP15K-like
+    /// after DBpedia's popularity-biased crawl).
+    Uniform,
+    /// Zipf-distributed endpoint propensities — the "real-life entity
+    /// distribution" SRPRS was built to follow. Larger exponents give
+    /// heavier tails (more low-degree entities).
+    PowerLaw {
+        /// Zipf exponent, typically 0.8–1.5.
+        exponent: f64,
+    },
+}
+
+/// Full specification of a synthetic KG pair.
+///
+/// The defaults produce a small, fast, DBP15K-flavoured pair; benchmark
+/// presets in [`crate::benchmarks`] override fields to match Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairSpec {
+    /// Benchmark id, e.g. `"D-Z"`.
+    pub id: String,
+    /// Number of linked equivalence classes (before cluster expansion this
+    /// equals the number of gold links).
+    pub classes: usize,
+    /// Extra per-KG entities that appear in the graph but are neither gold
+    /// links nor evaluation candidates (DBP15K has ~4.5k such entities per
+    /// KG beyond its 15k links).
+    pub fillers_per_kg: usize,
+    /// Source-side entities included in test-time candidate sets *without*
+    /// a gold link — the unmatchable setting of DBP15K+ (paper §5.1).
+    pub unmatchable_per_kg: usize,
+    /// Target-side unmatchable count. `None` mirrors the source count.
+    /// DBP15K+ uses an asymmetric split so the candidate sides differ in
+    /// size, exercising the dummy-node protocol for Hun./SMat.
+    pub unmatchable_targets: Option<usize>,
+    /// Number of distinct relations per KG.
+    pub relations: usize,
+    /// Number of latent structural edges among classes. Per-KG triple
+    /// counts come out at roughly `latent_edges * (1 - heterogeneity / 2)`
+    /// plus filler/unmatchable attachment edges.
+    pub latent_edges: usize,
+    /// Degree model of the latent graph.
+    pub degree: DegreeModel,
+    /// Edge divergence between the two views in `[0, 1]`: 0 gives
+    /// isomorphic KGs (paper Figure 1a), 1 gives half view-exclusive edges.
+    pub heterogeneity: f64,
+    /// Cross-KG perturbation strength of entity names in `[0, 1]`: 0 gives
+    /// identical names (mono-lingual pairs), larger values model
+    /// translation/transliteration noise (D-Z is noisier than D-F).
+    pub name_noise: f64,
+    /// Fraction of classes expanded into non-1-to-1 clusters (paper §5.2).
+    /// 0 keeps the classic 1-to-1 benchmark shape.
+    pub multi_frac: f64,
+    /// Probability that a duplicate copy inherits each class edge. Only
+    /// relevant when `multi_frac > 0`.
+    pub copy_edge_keep: f64,
+    /// Master RNG seed; every derived randomness is a function of it.
+    pub seed: u64,
+}
+
+impl Default for PairSpec {
+    fn default() -> Self {
+        PairSpec {
+            id: "toy".to_owned(),
+            classes: 1000,
+            fillers_per_kg: 200,
+            unmatchable_per_kg: 0,
+            unmatchable_targets: None,
+            relations: 100,
+            latent_edges: 6000,
+            degree: DegreeModel::Uniform,
+            heterogeneity: 0.4,
+            name_noise: 0.3,
+            multi_frac: 0.0,
+            copy_edge_keep: 0.65,
+            seed: 2024,
+        }
+    }
+}
+
+impl PairSpec {
+    /// Validates knob ranges, panicking with a clear message on misuse.
+    /// Called by the generator before any sampling.
+    pub fn validate(&self) {
+        assert!(
+            self.classes > 0,
+            "spec {}: classes must be positive",
+            self.id
+        );
+        assert!(
+            self.relations > 0,
+            "spec {}: relations must be positive",
+            self.id
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.heterogeneity),
+            "spec {}: heterogeneity out of [0,1]",
+            self.id
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.name_noise),
+            "spec {}: name_noise out of [0,1]",
+            self.id
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.multi_frac),
+            "spec {}: multi_frac out of [0,1]",
+            self.id
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.copy_edge_keep),
+            "spec {}: copy_edge_keep out of [0,1]",
+            self.id
+        );
+    }
+
+    /// Returns a copy with all size fields multiplied by `scale` (≥ 1 class
+    /// is kept). Used to shrink the paper's benchmarks to laptop scale
+    /// while preserving their density and heterogeneity character.
+    pub fn scaled(&self, scale: f64) -> PairSpec {
+        assert!(scale > 0.0, "scale must be positive");
+        let s = |v: usize| ((v as f64 * scale).round() as usize).max(1);
+        PairSpec {
+            classes: s(self.classes),
+            fillers_per_kg: (self.fillers_per_kg as f64 * scale).round() as usize,
+            unmatchable_per_kg: (self.unmatchable_per_kg as f64 * scale).round() as usize,
+            unmatchable_targets: self
+                .unmatchable_targets
+                .map(|u| (u as f64 * scale).round() as usize),
+            relations: s(self.relations),
+            latent_edges: s(self.latent_edges),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_validates() {
+        PairSpec::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heterogeneity")]
+    fn bad_heterogeneity_panics() {
+        PairSpec {
+            heterogeneity: 1.5,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "classes")]
+    fn zero_classes_panics() {
+        PairSpec {
+            classes: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn scaled_shrinks_sizes_but_keeps_knobs() {
+        let spec = PairSpec {
+            classes: 1000,
+            latent_edges: 5000,
+            ..Default::default()
+        };
+        let half = spec.scaled(0.5);
+        assert_eq!(half.classes, 500);
+        assert_eq!(half.latent_edges, 2500);
+        assert_eq!(half.heterogeneity, spec.heterogeneity);
+        // Scaling never produces zero classes.
+        let tiny = spec.scaled(1e-9);
+        assert_eq!(tiny.classes, 1);
+    }
+}

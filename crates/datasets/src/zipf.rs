@@ -1,0 +1,142 @@
+//! Weighted discrete sampling with optional Zipf weights.
+
+use crate::spec::DegreeModel;
+use rand::Rng;
+
+/// A discrete distribution over `0..n` sampled by binary search over a
+/// cumulative weight table. O(n) build, O(lg n) per sample.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedSampler {
+    /// Builds a sampler from raw non-negative weights (at least one must be
+    /// positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "cannot sample from empty weights");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be finite and non-negative"
+            );
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        WeightedSampler { cumulative }
+    }
+
+    /// Builds the sampler implied by a [`DegreeModel`] over `n` items. For
+    /// the power-law model, ranks are shuffled so item ids carry no degree
+    /// information (`shuffle_seed` controls the permutation).
+    pub fn from_model(model: DegreeModel, n: usize, shuffle_seed: u64) -> Self {
+        match model {
+            DegreeModel::Uniform => WeightedSampler::new(&vec![1.0; n]),
+            DegreeModel::PowerLaw { exponent } => {
+                let mut ranks: Vec<usize> = (0..n).collect();
+                // SplitMix-based Fisher-Yates (keep this crate's sampling
+                // independent from the caller's rand version/stream).
+                let mut state = shuffle_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut next = move || {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^ (z >> 31)
+                };
+                for i in (1..ranks.len()).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    ranks.swap(i, j);
+                }
+                let mut weights = vec![0.0; n];
+                for (item, &rank) in ranks.iter().enumerate() {
+                    weights[item] = 1.0 / ((rank + 1) as f64).powf(exponent);
+                }
+                WeightedSampler::new(&weights)
+            }
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one item index using `rng`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).unwrap())
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_sampler_covers_support() {
+        let s = WeightedSampler::from_model(DegreeModel::Uniform, 10, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all items should be hit: {seen:?}");
+    }
+
+    #[test]
+    fn zero_weight_items_never_sampled() {
+        let s = WeightedSampler::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            assert_eq!(s.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let n = 1000;
+        let s = WeightedSampler::from_model(DegreeModel::PowerLaw { exponent: 1.2 }, n, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; n];
+        for _ in 0..50_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top_10: usize = sorted[..10].iter().sum();
+        let bottom_half: usize = sorted[n / 2..].iter().sum();
+        // Heavy tail: the 10 hottest items beat the entire bottom half.
+        assert!(top_10 > bottom_half, "top10={top_10} bottom={bottom_half}");
+    }
+
+    #[test]
+    fn power_law_rank_assignment_is_shuffled() {
+        let a = WeightedSampler::from_model(DegreeModel::PowerLaw { exponent: 1.0 }, 50, 1);
+        let b = WeightedSampler::from_model(DegreeModel::PowerLaw { exponent: 1.0 }, 50, 2);
+        assert_ne!(a.cumulative, b.cumulative);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight")]
+    fn all_zero_weights_panic() {
+        WeightedSampler::new(&[0.0, 0.0]);
+    }
+}

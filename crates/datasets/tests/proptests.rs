@@ -1,0 +1,110 @@
+//! Property-based tests of the benchmark generator's invariants.
+
+use entmatcher_data::{generate_pair, DegreeModel, PairSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = PairSpec> {
+    (
+        20usize..120, // classes
+        0usize..30,   // fillers
+        0usize..20,   // unmatchables
+        2usize..12,   // relations
+        0.0f64..0.9,  // heterogeneity
+        0.0f64..0.9,  // name noise
+        prop_oneof![Just(0.0f64), 0.3f64..0.9],
+        any::<bool>(), // power law?
+        0u64..500,     // seed
+    )
+        .prop_map(
+            |(classes, fillers, unmatch, relations, h, noise, multi, power, seed)| PairSpec {
+                id: "prop".into(),
+                classes,
+                fillers_per_kg: fillers,
+                unmatchable_per_kg: unmatch,
+                unmatchable_targets: None,
+                relations,
+                latent_edges: classes * 4,
+                degree: if power {
+                    DegreeModel::PowerLaw { exponent: 1.0 }
+                } else {
+                    DegreeModel::Uniform
+                },
+                heterogeneity: h,
+                name_noise: noise,
+                multi_frac: multi,
+                copy_edge_keep: 0.65,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_pairs_are_internally_consistent(spec in spec_strategy()) {
+        let pair = generate_pair(&spec);
+        // Entity counts: class copies + unmatchables + fillers.
+        prop_assert!(pair.source.num_entities() >= spec.classes);
+        prop_assert_eq!(pair.unmatchable_sources.len(), spec.unmatchable_per_kg);
+        // All link endpoints are valid entity ids.
+        for l in pair.gold.iter() {
+            prop_assert!((l.source.index()) < pair.source.num_entities());
+            prop_assert!((l.target.index()) < pair.target.num_entities());
+        }
+        // Splits partition gold.
+        let total =
+            pair.splits.train.len() + pair.splits.valid.len() + pair.splits.test.len();
+        prop_assert_eq!(total, pair.gold.len());
+        // 1-to-1 iff no multi clusters requested (probabilistically multi
+        // can still produce all-(1,1) draws, so only check the 0 case).
+        if spec.multi_frac == 0.0 {
+            prop_assert!(pair.gold.is_one_to_one());
+            prop_assert_eq!(pair.gold.len(), spec.classes);
+        }
+        // Every linked entity appears in at least one triple (required by
+        // the TSV dump format and real benchmark conventions).
+        if spec.classes > 1 {
+            for l in pair.gold.iter().take(50) {
+                prop_assert!(pair.source.adjacency().degree(l.source) > 0);
+                prop_assert!(pair.target.adjacency().degree(l.target) > 0);
+            }
+        }
+        // Unmatchables never carry gold links.
+        let gold_sources: std::collections::HashSet<u32> =
+            pair.gold.iter().map(|l| l.source.0).collect();
+        for u in &pair.unmatchable_sources {
+            prop_assert!(!gold_sources.contains(&u.0));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(spec in spec_strategy()) {
+        let a = generate_pair(&spec);
+        let b = generate_pair(&spec);
+        prop_assert_eq!(a.gold, b.gold);
+        prop_assert_eq!(a.source.num_triples(), b.source.num_triples());
+        prop_assert_eq!(a.splits.test, b.splits.test);
+    }
+
+    #[test]
+    fn heterogeneity_zero_gives_mirrored_structure(seed in 0u64..200) {
+        let spec = PairSpec {
+            classes: 60,
+            fillers_per_kg: 0,
+            latent_edges: 240,
+            relations: 5,
+            heterogeneity: 0.0,
+            multi_frac: 0.0,
+            seed,
+            ..Default::default()
+        };
+        let pair = generate_pair(&spec);
+        // With no view-exclusive edges and 1-to-1 classes, both KGs carry
+        // the same number of structural triples (isolated-entity repair
+        // may add a few each side).
+        let s = pair.source.num_triples() as i64;
+        let t = pair.target.num_triples() as i64;
+        prop_assert!((s - t).abs() <= 5, "triple counts diverged: {s} vs {t}");
+    }
+}

@@ -1,0 +1,67 @@
+//! The [`Encoder`] abstraction and its output type.
+
+use entmatcher_graph::KgPair;
+use entmatcher_linalg::Matrix;
+
+/// Unified entity embeddings for a KG pair: one row per entity, source and
+/// target in the *same* vector space (the hand-off artifact between the two
+/// pipeline stages, paper Figure 2).
+#[derive(Debug, Clone)]
+pub struct UnifiedEmbeddings {
+    /// `n_source x d` embeddings, row = source [`entmatcher_graph::EntityId`].
+    pub source: Matrix,
+    /// `n_target x d` embeddings.
+    pub target: Matrix,
+}
+
+impl UnifiedEmbeddings {
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.source.cols()
+    }
+
+    /// Validates that both sides share a dimensionality.
+    pub fn assert_consistent(&self) {
+        assert_eq!(
+            self.source.cols(),
+            self.target.cols(),
+            "source and target embeddings must share a dimensionality"
+        );
+    }
+}
+
+/// A representation-learning model: consumes a KG pair (using only its
+/// train links as supervision) and produces unified embeddings.
+pub trait Encoder {
+    /// Human-readable encoder name (used in experiment reports, e.g.
+    /// `"GCN"`, `"RREA"`).
+    fn name(&self) -> &'static str;
+
+    /// Encodes both KGs of `pair` into a unified space.
+    fn encode(&self, pair: &KgPair) -> UnifiedEmbeddings;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_and_consistency() {
+        let e = UnifiedEmbeddings {
+            source: Matrix::zeros(3, 8),
+            target: Matrix::zeros(4, 8),
+        };
+        assert_eq!(e.dim(), 8);
+        e.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn inconsistent_dims_panic() {
+        let e = UnifiedEmbeddings {
+            source: Matrix::zeros(3, 8),
+            target: Matrix::zeros(4, 16),
+        };
+        e.assert_consistent();
+    }
+}

@@ -1,0 +1,91 @@
+//! Fusing name and structure embedding spaces (the paper's NR- settings).
+
+use crate::encoder::UnifiedEmbeddings;
+use entmatcher_linalg::{normalize_rows_l2, Matrix};
+
+/// Fuses two unified embedding spaces by weighted concatenation:
+/// `[sqrt(w) * a | sqrt(1-w) * b]`, re-normalized per row.
+///
+/// With unit-norm inputs, the cosine similarity in the fused space is the
+/// convex combination `w * cos_a + (1-w) * cos_b`, which is exactly the
+/// "fusing the semantic and structural information" step of Table 5.
+pub fn fuse(a: &UnifiedEmbeddings, b: &UnifiedEmbeddings, weight_a: f32) -> UnifiedEmbeddings {
+    assert!((0.0..=1.0).contains(&weight_a), "weight must be in [0,1]");
+    let wa = weight_a.sqrt();
+    let wb = (1.0 - weight_a).sqrt();
+    let source = fuse_side(&a.source, &b.source, wa, wb);
+    let target = fuse_side(&a.target, &b.target, wa, wb);
+    UnifiedEmbeddings { source, target }
+}
+
+fn fuse_side(a: &Matrix, b: &Matrix, wa: f32, wb: f32) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "fused spaces must cover the same entities"
+    );
+    let mut sa = a.clone();
+    sa.scale(wa);
+    let mut sb = b.clone();
+    sb.scale(wb);
+    let mut out = sa.hcat(&sb).expect("row counts match");
+    normalize_rows_l2(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::random_rows;
+    use entmatcher_linalg::dot;
+
+    fn emb(rows: usize, dim: usize, seed: u64) -> UnifiedEmbeddings {
+        UnifiedEmbeddings {
+            source: random_rows(rows, dim, seed),
+            target: random_rows(rows, dim, seed ^ 1),
+        }
+    }
+
+    #[test]
+    fn fused_dim_is_sum() {
+        let a = emb(5, 8, 1);
+        let b = emb(5, 16, 2);
+        let f = fuse(&a, &b, 0.5);
+        assert_eq!(f.dim(), 24);
+        assert_eq!(f.source.rows(), 5);
+    }
+
+    #[test]
+    fn fused_cosine_is_convex_combination() {
+        let a = emb(4, 32, 3);
+        let b = emb(4, 32, 4);
+        let w = 0.7f32;
+        let f = fuse(&a, &b, w);
+        for i in 0..4 {
+            for j in 0..4 {
+                let ca = dot(a.source.row(i), a.target.row(j));
+                let cb = dot(b.source.row(i), b.target.row(j));
+                let cf = dot(f.source.row(i), f.target.row(j));
+                let want = w * ca + (1.0 - w) * cb;
+                assert!((cf - want).abs() < 1e-4, "({i},{j}): {cf} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_extremes_recover_inputs() {
+        let a = emb(3, 16, 5);
+        let b = emb(3, 16, 6);
+        let only_a = fuse(&a, &b, 1.0);
+        let ca = dot(a.source.row(0), a.target.row(1));
+        let cf = dot(only_a.source.row(0), only_a.target.row(1));
+        assert!((ca - cf).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn out_of_range_weight_panics() {
+        let a = emb(2, 4, 7);
+        fuse(&a, &a, 1.5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Embedding initialization: independent random rows, with seed links
+//! sharing anchor vectors.
+
+use entmatcher_graph::{AlignmentSet, KgPair};
+use entmatcher_linalg::{normalize_rows_l2, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fills a matrix with unit-normalized rows of Gaussian-ish noise
+/// (sum of uniforms; the exact shape is irrelevant after normalization).
+pub fn random_rows(rows: usize, dim: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::from_fn(rows, dim, |_, _| sample_gaussian(&mut rng));
+    normalize_rows_l2(&mut m);
+    m
+}
+
+fn sample_gaussian(rng: &mut StdRng) -> f32 {
+    // Irwin–Hall(12) approximation of a standard normal.
+    let s: f32 = (0..12).map(|_| rng.gen::<f32>()).sum();
+    s - 6.0
+}
+
+/// Initial embeddings for both KGs: every entity gets an independent random
+/// row, then each anchor link's endpoints are overwritten with one shared
+/// random vector — the only cross-KG signal available to the encoders.
+pub fn seeded_init(
+    pair: &KgPair,
+    anchors: &AlignmentSet,
+    dim: usize,
+    seed: u64,
+) -> (Matrix, Matrix) {
+    seeded_init_scaled(pair, anchors, dim, seed, 1.0)
+}
+
+/// [`seeded_init`] with non-anchor rows scaled by `noise_scale`.
+///
+/// Real encoders learn to shrink uninformative directions: the trained
+/// embedding of a test entity is dominated by signal propagated from seed
+/// anchors, with residual noise. A `noise_scale` below 1 reproduces that
+/// balance — anchor-derived components dominate each aggregation, while
+/// entities far from any anchor keep (normalized) noise and misalign,
+/// exactly the failure mode of weakly-supervised structure-only EA.
+pub fn seeded_init_scaled(
+    pair: &KgPair,
+    anchors: &AlignmentSet,
+    dim: usize,
+    seed: u64,
+    noise_scale: f32,
+) -> (Matrix, Matrix) {
+    let mut source = random_rows(pair.source.num_entities(), dim, seed ^ 0x50);
+    let mut target = random_rows(pair.target.num_entities(), dim, seed ^ 0x7A);
+    source.scale(noise_scale);
+    target.scale(noise_scale);
+    let vectors = anchor_vectors(anchors, dim, seed);
+    overwrite_anchors(&mut source, &mut target, anchors, &vectors);
+    (source, target)
+}
+
+/// Adds `bias` times the (unit-normalized) global centroid of both sides
+/// to every row. Trained embedding spaces are not centred: rows share a
+/// common direction, which makes the vectors nearest the centroid appear
+/// in many nearest-neighbour lists — the *hubness* phenomenon CSLS and
+/// RInf were designed to counteract (paper §3.3). Calling this before the
+/// final normalization reproduces that geometry; weak (low-magnitude)
+/// rows are affected the most, which also yields the *isolation* issue's
+/// mirror image.
+pub fn add_centroid_bias(source: &mut Matrix, target: &mut Matrix, bias: f32) {
+    if bias <= 0.0 {
+        return;
+    }
+    let dim = source.cols();
+    let mut centroid = vec![0.0f64; dim];
+    for m in [&*source, &*target] {
+        for (_, row) in m.iter_rows() {
+            for (c, &v) in centroid.iter_mut().zip(row.iter()) {
+                *c += v as f64;
+            }
+        }
+    }
+    let norm: f64 = centroid.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm < f64::EPSILON {
+        return;
+    }
+    let dir: Vec<f32> = centroid.iter().map(|&v| (v / norm) as f32 * bias).collect();
+    for m in [source, target] {
+        for r in 0..m.rows() {
+            for (x, &d) in m.row_mut(r).iter_mut().zip(dir.iter()) {
+                *x += d;
+            }
+        }
+    }
+}
+
+/// Generates one shared unit vector per anchor link, deterministically.
+pub fn anchor_vectors(anchors: &AlignmentSet, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA17C_0121);
+    anchors
+        .iter()
+        .map(|_| {
+            let mut v: Vec<f32> = (0..dim).map(|_| sample_gaussian(&mut rng)).collect();
+            let norm = entmatcher_linalg::l2_norm(&v);
+            if norm > f32::EPSILON {
+                for x in &mut v {
+                    *x /= norm;
+                }
+            }
+            v
+        })
+        .collect()
+}
+
+/// Overwrites the rows of each anchor link with its shared vector. Real EA
+/// training keeps seed embeddings pinned together through the alignment
+/// loss at every step; the encoders emulate that by re-applying this after
+/// every propagation layer. Links sharing an endpoint (non-1-to-1 data)
+/// collapse transitively through the last write.
+pub fn overwrite_anchors(
+    source: &mut Matrix,
+    target: &mut Matrix,
+    anchors: &AlignmentSet,
+    vectors: &[Vec<f32>],
+) {
+    assert_eq!(anchors.len(), vectors.len(), "one vector per anchor link");
+    for (link, v) in anchors.iter().zip(vectors.iter()) {
+        source.row_mut(link.source.index()).copy_from_slice(v);
+        target.row_mut(link.target.index()).copy_from_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entmatcher_graph::{EntityId, KgBuilder, Link};
+    use entmatcher_linalg::{dot, l2_norm};
+
+    fn pair_with(n: usize) -> KgPair {
+        let mut s = KgBuilder::new("s");
+        let mut t = KgBuilder::new("t");
+        for i in 0..n {
+            s.add_entity(&format!("s{i}"));
+            t.add_entity(&format!("t{i}"));
+        }
+        let gold = (0..n as u32)
+            .map(|i| Link::new(EntityId(i), EntityId(i)))
+            .collect();
+        KgPair::new("p", s.build().unwrap(), t.build().unwrap(), gold, 9).unwrap()
+    }
+
+    #[test]
+    fn random_rows_are_unit_norm_and_deterministic() {
+        let a = random_rows(10, 16, 3);
+        let b = random_rows(10, 16, 3);
+        assert_eq!(a, b);
+        for (_, row) in a.iter_rows() {
+            assert!((l2_norm(row) - 1.0).abs() < 1e-4);
+        }
+        assert_ne!(random_rows(10, 16, 4), a);
+    }
+
+    #[test]
+    fn anchors_share_vectors_across_kgs() {
+        let pair = pair_with(20);
+        let anchors = pair.train_links().clone();
+        assert!(!anchors.is_empty());
+        let (src, tgt) = seeded_init(&pair, &anchors, 16, 5);
+        for link in anchors.iter() {
+            let a = src.row(link.source.index());
+            let b = tgt.row(link.target.index());
+            assert_eq!(a, b, "anchor rows must be identical");
+        }
+    }
+
+    #[test]
+    fn non_anchor_rows_are_independent() {
+        let pair = pair_with(20);
+        let anchors = pair.train_links().clone();
+        let anchor_sources: std::collections::HashSet<u32> =
+            anchors.iter().map(|l| l.source.0).collect();
+        let (src, tgt) = seeded_init(&pair, &anchors, 16, 5);
+        // Gold-but-unanchored pairs should NOT be trivially identical.
+        for link in pair.test_links().iter().take(5) {
+            assert!(!anchor_sources.contains(&link.source.0));
+            let sim = dot(src.row(link.source.index()), tgt.row(link.target.index()));
+            assert!(sim < 0.9, "test pair leaked anchor signal: sim={sim}");
+        }
+    }
+}

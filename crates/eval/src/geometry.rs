@@ -1,0 +1,132 @@
+//! Embedding-space geometry diagnostics: hubness and isolation.
+//!
+//! The paper motivates CSLS/RInf with the *hubness* issue (some targets
+//! appear as the top-1 neighbour of many sources) and the *isolation*
+//! issue (some targets never appear near anything) — §3.3. This module
+//! quantifies both on a candidate score matrix, so the reproduction can
+//! show the issues exist in the synthetic embedding spaces and that the
+//! score optimizers reduce them.
+
+use entmatcher_linalg::parallel::par_map_rows;
+use entmatcher_linalg::rank::top_k_desc;
+use entmatcher_linalg::stats::{mean, std_dev};
+use entmatcher_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Hubness/isolation summary of a score matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeometryReport {
+    /// Skewness of the k-occurrence distribution (third standardized
+    /// moment). Near 0 for a well-spread space; strongly positive when a
+    /// few hubs absorb most top-k slots.
+    pub k_occurrence_skewness: f64,
+    /// Largest single target's share of all top-k slots.
+    pub max_hub_share: f64,
+    /// Fraction of targets that appear in no source's top-k list (the
+    /// isolated points).
+    pub isolation_rate: f64,
+    /// The k used.
+    pub k: usize,
+}
+
+/// Counts, for every target column, how many sources list it among their
+/// top-k — the *k-occurrence* vector `N_k`.
+pub fn k_occurrence(scores: &Matrix, k: usize) -> Vec<u32> {
+    let (n_s, n_t) = scores.shape();
+    let mut counts = vec![0u32; n_t];
+    if n_s == 0 || n_t == 0 {
+        return counts;
+    }
+    let tops: Vec<Vec<usize>> = par_map_rows(n_s, |i| top_k_desc(scores.row(i), k));
+    for row in tops {
+        for j in row {
+            counts[j] += 1;
+        }
+    }
+    counts
+}
+
+/// Computes the geometry report for a candidate score matrix.
+pub fn geometry_report(scores: &Matrix, k: usize) -> GeometryReport {
+    let counts = k_occurrence(scores, k);
+    let as_f32: Vec<f32> = counts.iter().map(|&c| c as f32).collect();
+    let m = mean(&as_f32) as f64;
+    let sd = std_dev(&as_f32) as f64;
+    let skewness = if sd > 1e-12 && !counts.is_empty() {
+        counts
+            .iter()
+            .map(|&c| {
+                let z = (c as f64 - m) / sd;
+                z * z * z
+            })
+            .sum::<f64>()
+            / counts.len() as f64
+    } else {
+        0.0
+    };
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    let max_share = if total > 0 {
+        counts.iter().copied().max().unwrap_or(0) as f64 / total as f64
+    } else {
+        0.0
+    };
+    let isolated = counts.iter().filter(|&&c| c == 0).count();
+    let isolation_rate = if counts.is_empty() {
+        0.0
+    } else {
+        isolated as f64 / counts.len() as f64
+    };
+    GeometryReport {
+        k_occurrence_skewness: skewness,
+        max_hub_share: max_share,
+        isolation_rate,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_occurrence_counts_top_slots() {
+        // Every source's top-1 is column 0 => counts [n, 0, 0].
+        let s = Matrix::from_fn(4, 3, |_, c| if c == 0 { 0.9 } else { 0.1 });
+        assert_eq!(k_occurrence(&s, 1), vec![4, 0, 0]);
+    }
+
+    #[test]
+    fn hub_space_has_positive_skew_and_isolation() {
+        // One hub column dominating 10 sources, the rest untouched.
+        let s = Matrix::from_fn(
+            10,
+            10,
+            |_, c| if c == 0 { 0.9 } else { 0.1 * c as f32 / 10.0 },
+        );
+        let g = geometry_report(&s, 1);
+        assert!(
+            g.k_occurrence_skewness > 1.0,
+            "skew {:.2}",
+            g.k_occurrence_skewness
+        );
+        assert_eq!(g.max_hub_share, 1.0);
+        assert!(g.isolation_rate >= 0.8);
+    }
+
+    #[test]
+    fn diagonal_space_is_balanced() {
+        let n = 10;
+        let s = Matrix::from_fn(n, n, |r, c| if r == c { 0.9 } else { 0.1 });
+        let g = geometry_report(&s, 1);
+        assert!(g.k_occurrence_skewness.abs() < 1e-9);
+        assert_eq!(g.isolation_rate, 0.0);
+        assert!((g.max_hub_share - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_is_degenerate_zeroes() {
+        let g = geometry_report(&Matrix::zeros(0, 0), 5);
+        assert_eq!(g.isolation_rate, 0.0);
+        assert_eq!(g.k_occurrence_skewness, 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Alignment quality metrics (paper §4.2).
+//!
+//! *Precision* = correct predictions / all predictions;
+//! *recall* = correct predictions / gold links (equivalent to Hits@1 in
+//! prior work); *F1* = their harmonic mean. On classic 1-to-1 benchmarks
+//! where every method predicts for every test source, P = R = F1; the
+//! three diverge under the unmatchable and non-1-to-1 settings (§5).
+
+use entmatcher_graph::{AlignmentSet, Link};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlignmentScores {
+    /// Fraction of predictions that are gold links.
+    pub precision: f64,
+    /// Fraction of gold links recovered.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of predictions made.
+    pub predicted: usize,
+    /// Number of correct predictions.
+    pub correct: usize,
+    /// Number of gold links.
+    pub gold: usize,
+}
+
+impl AlignmentScores {
+    /// Scores a prediction set against gold links. Duplicate predictions
+    /// count once; a prediction is correct iff it is a gold link.
+    pub fn compute(predicted: &[Link], gold: &AlignmentSet) -> Self {
+        let gold_set: HashSet<(u32, u32)> = gold.iter().map(|l| (l.source.0, l.target.0)).collect();
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(predicted.len());
+        let mut correct = 0usize;
+        for l in predicted {
+            if seen.insert((l.source.0, l.target.0)) && gold_set.contains(&(l.source.0, l.target.0))
+            {
+                correct += 1;
+            }
+        }
+        let n_pred = seen.len();
+        let n_gold = gold.len();
+        let precision = if n_pred == 0 {
+            0.0
+        } else {
+            correct as f64 / n_pred as f64
+        };
+        let recall = if n_gold == 0 {
+            0.0
+        } else {
+            correct as f64 / n_gold as f64
+        };
+        let f1 = if precision + recall <= 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        AlignmentScores {
+            precision,
+            recall,
+            f1,
+            predicted: n_pred,
+            correct,
+            gold: n_gold,
+        }
+    }
+}
+
+/// Convenience wrapper over [`AlignmentScores::compute`].
+pub fn evaluate_links(predicted: &[Link], gold: &AlignmentSet) -> AlignmentScores {
+    AlignmentScores::compute(predicted, gold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entmatcher_graph::EntityId;
+
+    fn link(s: u32, t: u32) -> Link {
+        Link::new(EntityId(s), EntityId(t))
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let gold = AlignmentSet::new(vec![link(0, 0), link(1, 1)]);
+        let s = evaluate_links(&[link(0, 0), link(1, 1)], &gold);
+        assert_eq!(s.f1, 1.0);
+        assert_eq!(s.correct, 2);
+    }
+
+    #[test]
+    fn one_to_one_full_coverage_makes_p_equal_r() {
+        // Paper §4.3: when every test source gets exactly one prediction,
+        // precision == recall == F1.
+        let gold = AlignmentSet::new(vec![link(0, 0), link(1, 1), link(2, 2), link(3, 3)]);
+        let pred = vec![link(0, 0), link(1, 2), link(2, 1), link(3, 3)];
+        let s = evaluate_links(&pred, &gold);
+        assert_eq!(s.precision, s.recall);
+        assert_eq!(s.precision, 0.5);
+        assert!((s.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_prediction_hurts_precision_only() {
+        let gold = AlignmentSet::new(vec![link(0, 0)]);
+        // One correct prediction plus one spurious prediction for an
+        // unmatchable source.
+        let s = evaluate_links(&[link(0, 0), link(7, 3)], &gold);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.precision, 0.5);
+    }
+
+    #[test]
+    fn under_prediction_hurts_recall_only() {
+        let gold = AlignmentSet::new(vec![link(0, 0), link(1, 1)]);
+        let s = evaluate_links(&[link(0, 0)], &gold);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+    }
+
+    #[test]
+    fn non_one_to_one_gold_recall_ceiling() {
+        // Source 0 has two gold targets; a single prediction caps recall.
+        let gold = AlignmentSet::new(vec![link(0, 0), link(0, 1)]);
+        let s = evaluate_links(&[link(0, 0)], &gold);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+    }
+
+    #[test]
+    fn duplicates_count_once() {
+        let gold = AlignmentSet::new(vec![link(0, 0)]);
+        let s = evaluate_links(&[link(0, 0), link(0, 0)], &gold);
+        assert_eq!(s.predicted, 1);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let gold = AlignmentSet::new(vec![link(0, 0)]);
+        let s = evaluate_links(&[], &gold);
+        assert_eq!(s.f1, 0.0);
+        let empty_gold = AlignmentSet::default();
+        let s2 = evaluate_links(&[link(0, 0)], &empty_gold);
+        assert_eq!(s2.recall, 0.0);
+        assert_eq!(s2.f1, 0.0);
+    }
+}

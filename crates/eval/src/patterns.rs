@@ -1,0 +1,74 @@
+//! Score-distribution analyses behind the paper's discussion patterns.
+//!
+//! Pattern 1 (§4.3, Figure 4): when the standard deviation of each source
+//! entity's top-k pairwise scores is small, score-sharpening methods
+//! (CSLS, RInf) shine; when it is large, global-constraint methods (SMat,
+//! RL) catch up. This module computes that statistic.
+
+use entmatcher_linalg::parallel::par_map_rows;
+use entmatcher_linalg::rank::top_k_desc;
+use entmatcher_linalg::stats::{mean, std_dev};
+use entmatcher_linalg::Matrix;
+
+/// Per-row standard deviation of the top-`k` scores.
+pub fn top_k_std_per_row(scores: &Matrix, k: usize) -> Vec<f32> {
+    par_map_rows(scores.rows(), |i| {
+        let row = scores.row(i);
+        let top: Vec<f32> = top_k_desc(row, k).into_iter().map(|j| row[j]).collect();
+        std_dev(&top)
+    })
+}
+
+/// Mean over all rows of the top-`k` score standard deviation — the bar
+/// heights of Figure 4 (the paper uses k = 5).
+pub fn avg_top_k_std(scores: &Matrix, k: usize) -> f32 {
+    mean(&top_k_std_per_row(scores, k))
+}
+
+/// Mean margin between each row's best and second-best score — an
+/// alternative sharpness measure used by the RL pre-filter analysis.
+pub fn avg_top1_margin(scores: &Matrix) -> f32 {
+    let margins = par_map_rows(scores.rows(), |i| {
+        let row = scores.row(i);
+        let top = top_k_desc(row, 2);
+        match top.as_slice() {
+            [a, b, ..] => row[*a] - row[*b],
+            _ => 0.0,
+        }
+    });
+    mean(&margins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_rows_have_zero_std() {
+        let s = Matrix::filled(4, 6, 0.5);
+        assert_eq!(avg_top_k_std(&s, 5), 0.0);
+        assert_eq!(avg_top1_margin(&s), 0.0);
+    }
+
+    #[test]
+    fn spread_rows_have_positive_std() {
+        let s = Matrix::from_fn(3, 6, |_, c| c as f32 * 0.1);
+        let std = avg_top_k_std(&s, 5);
+        assert!(std > 0.1, "std {std}");
+        let margin = avg_top1_margin(&s);
+        assert!((margin - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sharper_matrix_has_larger_std() {
+        let close = Matrix::from_fn(5, 10, |_, c| 0.9 - 0.001 * c as f32);
+        let spread = Matrix::from_fn(5, 10, |_, c| 0.9 - 0.1 * c as f32);
+        assert!(avg_top_k_std(&spread, 5) > avg_top_k_std(&close, 5) * 10.0);
+    }
+
+    #[test]
+    fn k_one_is_degenerate_zero() {
+        let s = Matrix::from_fn(2, 4, |_, c| c as f32);
+        assert_eq!(avg_top_k_std(&s, 1), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Ranking-quality metrics: Hits@k and mean reciprocal rank (MRR).
+//!
+//! The EA literature the paper surveys reports Hits@1/Hits@10/MRR for the
+//! representation-learning stage; recall under full coverage equals Hits@1
+//! (paper §4.2). These metrics evaluate the *score matrix* directly —
+//! before any matcher runs — and so isolate embedding quality from
+//! matching quality.
+
+use crate::task::MatchTask;
+use entmatcher_graph::EntityId;
+use entmatcher_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hits@k / MRR bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingReport {
+    /// Fraction of test sources whose gold target ranks first.
+    pub hits_at_1: f64,
+    /// Fraction whose gold target ranks in the top 5.
+    pub hits_at_5: f64,
+    /// Fraction whose gold target ranks in the top 10.
+    pub hits_at_10: f64,
+    /// Mean reciprocal rank of the best-ranked gold target.
+    pub mrr: f64,
+    /// Number of evaluated source entities.
+    pub evaluated: usize,
+}
+
+/// Computes ranking metrics for a candidate score matrix against the
+/// task's gold links. For non-1-to-1 gold, the *best-ranked* gold target
+/// counts (the standard convention).
+pub fn ranking_report(task: &MatchTask, scores: &Matrix) -> RankingReport {
+    assert_eq!(
+        scores.rows(),
+        task.num_sources(),
+        "score rows must cover source candidates"
+    );
+    assert_eq!(
+        scores.cols(),
+        task.num_targets(),
+        "score cols must cover target candidates"
+    );
+    let target_pos: HashMap<EntityId, usize> = task
+        .target_candidates
+        .iter()
+        .enumerate()
+        .map(|(j, &e)| (e, j))
+        .collect();
+    let gold_by_source = task.gold.by_source();
+
+    let mut hits1 = 0usize;
+    let mut hits5 = 0usize;
+    let mut hits10 = 0usize;
+    let mut rr_sum = 0.0f64;
+    let mut evaluated = 0usize;
+    for (i, &source) in task.source_candidates.iter().enumerate() {
+        let Some(gold_targets) = gold_by_source.get(&source) else {
+            continue; // unmatchable candidate: no rank to measure
+        };
+        let gold_cols: Vec<usize> = gold_targets
+            .iter()
+            .filter_map(|t| target_pos.get(t).copied())
+            .collect();
+        if gold_cols.is_empty() {
+            continue;
+        }
+        evaluated += 1;
+        // Best gold rank = 1 + number of candidates scoring strictly above
+        // the best-scoring gold target (ties resolve optimistically, the
+        // usual convention).
+        let row = scores.row(i);
+        let best_gold = gold_cols
+            .iter()
+            .map(|&j| row[j])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let rank = 1 + row.iter().filter(|&&v| v > best_gold).count();
+        if rank <= 1 {
+            hits1 += 1;
+        }
+        if rank <= 5 {
+            hits5 += 1;
+        }
+        if rank <= 10 {
+            hits10 += 1;
+        }
+        rr_sum += 1.0 / rank as f64;
+    }
+    let denom = evaluated.max(1) as f64;
+    RankingReport {
+        hits_at_1: hits1 as f64 / denom,
+        hits_at_5: hits5 as f64 / denom,
+        hits_at_10: hits10 as f64 / denom,
+        mrr: rr_sum / denom,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entmatcher_graph::{AlignmentSet, Link};
+
+    fn task_2x3() -> MatchTask {
+        // Sources s0, s1; targets t0, t1, t2; gold: s0->t1, s1->t0.
+        MatchTask::new(
+            vec![EntityId(0), EntityId(1)],
+            vec![EntityId(10), EntityId(11), EntityId(12)],
+            AlignmentSet::new(vec![
+                Link::new(EntityId(0), EntityId(11)),
+                Link::new(EntityId(1), EntityId(10)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn perfect_scores_give_perfect_metrics() {
+        let task = task_2x3();
+        let scores = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.0, 0.9, 0.1, 0.0]).unwrap();
+        let r = ranking_report(&task, &scores);
+        assert_eq!(r.hits_at_1, 1.0);
+        assert_eq!(r.mrr, 1.0);
+        assert_eq!(r.evaluated, 2);
+    }
+
+    #[test]
+    fn rank_two_gives_half_rr() {
+        let task = task_2x3();
+        // s0's gold (t1) ranks 2nd; s1's gold (t0) ranks 1st.
+        let scores = Matrix::from_vec(2, 3, vec![0.9, 0.5, 0.0, 0.9, 0.1, 0.0]).unwrap();
+        let r = ranking_report(&task, &scores);
+        assert_eq!(r.hits_at_1, 0.5);
+        assert_eq!(r.hits_at_5, 1.0);
+        assert!((r.mrr - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_1to1_takes_best_gold_rank() {
+        // Source 0 has two gold targets; the better-ranked one counts.
+        let task = MatchTask::new(
+            vec![EntityId(0)],
+            vec![EntityId(10), EntityId(11), EntityId(12)],
+            AlignmentSet::new(vec![
+                Link::new(EntityId(0), EntityId(11)),
+                Link::new(EntityId(0), EntityId(12)),
+            ]),
+        );
+        let scores = Matrix::from_vec(1, 3, vec![0.9, 0.1, 0.8]).unwrap();
+        let r = ranking_report(&task, &scores);
+        // Gold ranks are 3 (t11) and 2 (t12): best = 2.
+        assert_eq!(r.hits_at_1, 0.0);
+        assert!((r.mrr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmatchable_candidates_are_skipped() {
+        let task = MatchTask::new(
+            vec![EntityId(0), EntityId(99)], // 99 has no gold link
+            vec![EntityId(10)],
+            AlignmentSet::new(vec![Link::new(EntityId(0), EntityId(10))]),
+        );
+        let scores = Matrix::from_vec(2, 1, vec![0.9, 0.8]).unwrap();
+        let r = ranking_report(&task, &scores);
+        assert_eq!(r.evaluated, 1);
+        assert_eq!(r.hits_at_1, 1.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Bootstrap confidence intervals for alignment metrics.
+//!
+//! The paper reports point estimates; a faithful reproduction at reduced
+//! scale needs error bars to tell real orderings from sampling noise. This
+//! module resamples the *test links* with replacement and recomputes F1 on
+//! each replicate, yielding percentile confidence intervals — and a paired
+//! comparison that bootstraps the F1 *difference* of two prediction sets
+//! over the same resampled links (the right test for "algorithm A beats
+//! algorithm B on this dataset").
+
+use crate::metrics::evaluate_links;
+use entmatcher_graph::{AlignmentSet, Link};
+use serde::{Deserialize, Serialize};
+
+/// A bootstrap percentile interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapInterval {
+    /// The full-sample point estimate.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of bootstrap replicates.
+    pub replicates: usize,
+}
+
+/// Deterministic SplitMix64 stream for resampling.
+struct Rng(u64);
+
+impl Rng {
+    fn next_usize(&mut self, bound: usize) -> usize {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % bound.max(1) as u64) as usize
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Per-gold-link hit indicators for a prediction set.
+fn hit_indicators(predicted: &[Link], gold: &AlignmentSet) -> Vec<bool> {
+    let pred_set: std::collections::HashSet<(u32, u32)> =
+        predicted.iter().map(|l| (l.source.0, l.target.0)).collect();
+    gold.iter()
+        .map(|l| pred_set.contains(&(l.source.0, l.target.0)))
+        .collect()
+}
+
+/// F1 of a resampled indicator vector: recall is the resampled hit rate;
+/// precision keeps the prediction count fixed (predictions are not resampled
+/// — only which gold links are in the sample varies), scaling correct hits
+/// by the resampling.
+fn f1_from_indicators(correct: usize, n_gold: usize, n_pred: usize) -> f64 {
+    if n_gold == 0 || n_pred == 0 {
+        return 0.0;
+    }
+    let recall = correct as f64 / n_gold as f64;
+    let precision = (correct as f64 / n_pred as f64).min(1.0);
+    if precision + recall <= 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Bootstraps a `level` (e.g. 0.95) percentile interval for the F1 of
+/// `predicted` against `gold`, resampling the gold links' per-link hit
+/// indicators with replacement (the prediction set stays fixed).
+pub fn bootstrap_f1(
+    predicted: &[Link],
+    gold: &AlignmentSet,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> BootstrapInterval {
+    assert!(
+        (0.0..1.0).contains(&(1.0 - level)),
+        "level must be in (0, 1)"
+    );
+    let point = evaluate_links(predicted, gold).f1;
+    let hits = hit_indicators(predicted, gold);
+    let n = hits.len();
+    let n_pred = {
+        let uniq: std::collections::HashSet<(u32, u32)> =
+            predicted.iter().map(|l| (l.source.0, l.target.0)).collect();
+        uniq.len()
+    };
+    if n == 0 || replicates == 0 {
+        return BootstrapInterval {
+            point,
+            lo: point,
+            hi: point,
+            replicates,
+        };
+    }
+    let mut rng = Rng(seed);
+    let mut samples = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        let correct = (0..n).filter(|_| hits[rng.next_usize(n)]).count();
+        samples.push(f1_from_indicators(correct, n, n_pred));
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - level) / 2.0;
+    BootstrapInterval {
+        point,
+        lo: percentile(&samples, alpha),
+        hi: percentile(&samples, 1.0 - alpha),
+        replicates,
+    }
+}
+
+/// Paired bootstrap of `F1(a) - F1(b)`: both prediction sets are scored on
+/// the *same* resampled gold indices, so shared variance cancels. A `lo`
+/// above zero means "a beats b" at the chosen confidence level.
+pub fn bootstrap_f1_difference(
+    a: &[Link],
+    b: &[Link],
+    gold: &AlignmentSet,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> BootstrapInterval {
+    let point = evaluate_links(a, gold).f1 - evaluate_links(b, gold).f1;
+    let hits_a = hit_indicators(a, gold);
+    let hits_b = hit_indicators(b, gold);
+    let n = hits_a.len();
+    let uniq = |p: &[Link]| -> usize {
+        p.iter()
+            .map(|l| (l.source.0, l.target.0))
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    };
+    let (na, nb) = (uniq(a), uniq(b));
+    if n == 0 || replicates == 0 {
+        return BootstrapInterval {
+            point,
+            lo: point,
+            hi: point,
+            replicates,
+        };
+    }
+    let mut rng = Rng(seed);
+    let mut samples = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        let mut ca = 0usize;
+        let mut cb = 0usize;
+        for _ in 0..n {
+            let idx = rng.next_usize(n);
+            ca += usize::from(hits_a[idx]);
+            cb += usize::from(hits_b[idx]);
+        }
+        samples.push(f1_from_indicators(ca, n, na) - f1_from_indicators(cb, n, nb));
+    }
+    samples.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - level) / 2.0;
+    BootstrapInterval {
+        point,
+        lo: percentile(&samples, alpha),
+        hi: percentile(&samples, 1.0 - alpha),
+        replicates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entmatcher_graph::EntityId;
+
+    fn link(s: u32, t: u32) -> Link {
+        Link::new(EntityId(s), EntityId(t))
+    }
+
+    fn gold(n: u32) -> AlignmentSet {
+        (0..n).map(|i| link(i, i)).collect()
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        let g = gold(100);
+        // 80 correct + 20 wrong predictions.
+        let mut pred: Vec<Link> = (0..80).map(|i| link(i, i)).collect();
+        pred.extend((80..100).map(|i| link(i, i + 500)));
+        let ci = bootstrap_f1(&pred, &g, 200, 0.95, 1);
+        assert!((ci.point - 0.8).abs() < 1e-9);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(ci.hi - ci.lo > 0.01, "interval should have width");
+        assert!(ci.hi - ci.lo < 0.4, "interval should not be absurdly wide");
+    }
+
+    #[test]
+    fn perfect_predictions_have_degenerate_interval() {
+        let g = gold(50);
+        let pred: Vec<Link> = (0..50).map(|i| link(i, i)).collect();
+        let ci = bootstrap_f1(&pred, &g, 100, 0.95, 2);
+        assert_eq!(ci.point, 1.0);
+        // Every indicator is a hit, so every replicate is exactly 1.
+        assert_eq!(ci.lo, 1.0);
+        assert_eq!(ci.hi, 1.0);
+    }
+
+    #[test]
+    fn paired_difference_detects_a_clear_winner() {
+        let g = gold(200);
+        let good: Vec<Link> = (0..180).map(|i| link(i, i)).collect();
+        let bad: Vec<Link> = (0..100).map(|i| link(i, i)).collect();
+        let d = bootstrap_f1_difference(&good, &bad, &g, 300, 0.95, 3);
+        assert!(d.point > 0.0);
+        assert!(d.lo > 0.0, "a clear winner should have lo > 0: {:?}", d);
+    }
+
+    #[test]
+    fn paired_difference_of_identical_sets_is_zero() {
+        let g = gold(50);
+        let pred: Vec<Link> = (0..40).map(|i| link(i, i)).collect();
+        let d = bootstrap_f1_difference(&pred, &pred, &g, 100, 0.95, 4);
+        assert_eq!(d.point, 0.0);
+        assert_eq!(d.lo, 0.0);
+        assert_eq!(d.hi, 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gold(60);
+        let pred: Vec<Link> = (0..45).map(|i| link(i, i)).collect();
+        let a = bootstrap_f1(&pred, &g, 100, 0.9, 7);
+        let b = bootstrap_f1(&pred, &g, 100, 0.9, 7);
+        assert_eq!(a, b);
+    }
+}

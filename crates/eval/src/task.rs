@@ -1,0 +1,209 @@
+//! The test-time matching task: candidate sets, index mapping, candidate
+//! adjacency, and translation between matcher output and entity links.
+//!
+//! Following the paper's protocol, matching runs over the *test* portion
+//! of the gold links (train/valid entities are excluded from the candidate
+//! space) plus, in the unmatchable setting, the entities that have no
+//! counterpart at all (§5.1).
+
+use entmatcher_core::{MatchContext, Matching};
+use entmatcher_embed::UnifiedEmbeddings;
+use entmatcher_graph::{EntityId, KgPair, KnowledgeGraph, Link};
+use entmatcher_linalg::Matrix;
+use std::collections::HashMap;
+
+/// One evaluation instance: candidate entity lists on both sides plus the
+/// gold links to score against.
+#[derive(Debug, Clone)]
+pub struct MatchTask {
+    /// Source candidates (row order of the candidate score matrix).
+    pub source_candidates: Vec<EntityId>,
+    /// Target candidates (column order).
+    pub target_candidates: Vec<EntityId>,
+    /// Gold links among the candidates (the test split).
+    pub gold: entmatcher_graph::AlignmentSet,
+    source_index: HashMap<EntityId, u32>,
+    target_index: HashMap<EntityId, u32>,
+}
+
+impl MatchTask {
+    /// Builds the standard task for a pair: test-link sources/targets plus
+    /// any unmatchable entities recorded on the pair.
+    pub fn from_pair(pair: &KgPair) -> Self {
+        let test = pair.test_links();
+        let mut source_candidates = test.sources();
+        let mut target_candidates = test.targets();
+        source_candidates.extend(pair.unmatchable_sources.iter().copied());
+        target_candidates.extend(pair.unmatchable_targets.iter().copied());
+        Self::new(source_candidates, target_candidates, test.clone())
+    }
+
+    /// Builds a task from explicit candidate lists.
+    pub fn new(
+        source_candidates: Vec<EntityId>,
+        target_candidates: Vec<EntityId>,
+        gold: entmatcher_graph::AlignmentSet,
+    ) -> Self {
+        let source_index = source_candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i as u32))
+            .collect();
+        let target_index = target_candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i as u32))
+            .collect();
+        MatchTask {
+            source_candidates,
+            target_candidates,
+            gold,
+            source_index,
+            target_index,
+        }
+    }
+
+    /// Number of source candidates.
+    pub fn num_sources(&self) -> usize {
+        self.source_candidates.len()
+    }
+
+    /// Number of target candidates.
+    pub fn num_targets(&self) -> usize {
+        self.target_candidates.len()
+    }
+
+    /// Extracts the candidate rows from full-graph embeddings.
+    pub fn candidate_embeddings(&self, emb: &UnifiedEmbeddings) -> (Matrix, Matrix) {
+        let src_rows: Vec<usize> = self.source_candidates.iter().map(|e| e.index()).collect();
+        let tgt_rows: Vec<usize> = self.target_candidates.iter().map(|e| e.index()).collect();
+        let source = emb
+            .source
+            .select_rows(&src_rows)
+            .expect("candidate ids in range");
+        let target = emb
+            .target
+            .select_rows(&tgt_rows)
+            .expect("candidate ids in range");
+        (source, target)
+    }
+
+    /// Builds the candidate-level adjacency context consumed by the RL
+    /// matcher's coherence reward: candidate `i` lists the candidates
+    /// adjacent to it in its own KG.
+    pub fn context(&self, pair: &KgPair) -> MatchContext {
+        MatchContext {
+            source_adj: Some(candidate_adjacency(
+                &pair.source,
+                &self.source_candidates,
+                &self.source_index,
+            )),
+            target_adj: Some(candidate_adjacency(
+                &pair.target,
+                &self.target_candidates,
+                &self.target_index,
+            )),
+        }
+    }
+
+    /// Translates matcher output (candidate indices) into entity links.
+    pub fn matching_to_links(&self, matching: &Matching) -> Vec<Link> {
+        matching
+            .pairs()
+            .map(|(i, j)| Link::new(self.source_candidates[i], self.target_candidates[j]))
+            .collect()
+    }
+}
+
+fn candidate_adjacency(
+    kg: &KnowledgeGraph,
+    candidates: &[EntityId],
+    index: &HashMap<EntityId, u32>,
+) -> Vec<Vec<u32>> {
+    candidates
+        .iter()
+        .map(|&e| {
+            let mut out: Vec<u32> = kg
+                .adjacency()
+                .neighbors(e)
+                .iter()
+                .filter_map(|edge| index.get(&edge.neighbor).copied())
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entmatcher_data::{generate_pair, PairSpec};
+
+    fn pair() -> KgPair {
+        generate_pair(&PairSpec {
+            classes: 100,
+            fillers_per_kg: 10,
+            unmatchable_per_kg: 5,
+            latent_edges: 600,
+            relations: 10,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn candidates_cover_test_links_and_unmatchables() {
+        let p = pair();
+        let task = MatchTask::from_pair(&p);
+        assert_eq!(task.num_sources(), p.test_links().len() + 5);
+        assert_eq!(task.num_targets(), p.test_links().len() + 5);
+        // Train entities are not candidates.
+        for l in p.train_links().iter() {
+            assert!(!task.source_candidates.contains(&l.source));
+        }
+    }
+
+    #[test]
+    fn candidate_embeddings_select_the_right_rows() {
+        let p = pair();
+        let task = MatchTask::from_pair(&p);
+        let emb = UnifiedEmbeddings {
+            source: Matrix::from_fn(p.source.num_entities(), 2, |r, _| r as f32),
+            target: Matrix::from_fn(p.target.num_entities(), 2, |r, _| -(r as f32)),
+        };
+        let (s, t) = task.candidate_embeddings(&emb);
+        assert_eq!(s.rows(), task.num_sources());
+        for (i, &e) in task.source_candidates.iter().enumerate() {
+            assert_eq!(s.get(i, 0), e.index() as f32);
+        }
+        assert_eq!(t.get(0, 0), -(task.target_candidates[0].index() as f32));
+    }
+
+    #[test]
+    fn matching_translates_to_links() {
+        let p = pair();
+        let task = MatchTask::from_pair(&p);
+        // Identity-ish matching on candidate indices.
+        let assignment: Vec<Option<u32>> = (0..task.num_sources() as u32).map(Some).collect();
+        let links = task.matching_to_links(&Matching::new(assignment));
+        assert_eq!(links.len(), task.num_sources());
+        assert_eq!(links[0].source, task.source_candidates[0]);
+        assert_eq!(links[0].target, task.target_candidates[0]);
+    }
+
+    #[test]
+    fn context_adjacency_is_within_candidate_space() {
+        let p = pair();
+        let task = MatchTask::from_pair(&p);
+        let ctx = task.context(&p);
+        let adj = ctx.source_adj.unwrap();
+        assert_eq!(adj.len(), task.num_sources());
+        let n = task.num_sources() as u32;
+        for neighbors in &adj {
+            for &x in neighbors {
+                assert!(x < n, "adjacency index {x} escapes candidate space");
+            }
+        }
+    }
+}

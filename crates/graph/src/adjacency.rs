@@ -1,0 +1,182 @@
+//! Compressed sparse row (CSR) adjacency over triples.
+//!
+//! The propagation encoders visit every neighbourhood once per layer, so
+//! adjacency is frozen into CSR arrays at graph-build time: one `offsets`
+//! array and one flat `edges` array holding both directions of every triple
+//! (with the original direction preserved per edge, since relation-aware
+//! encoders weight incoming and outgoing edges differently).
+
+use crate::ids::{EntityId, RelationId};
+use crate::triple::Triple;
+use serde::{Deserialize, Serialize};
+
+/// One directed half-edge in the CSR structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The entity on the other end.
+    pub neighbor: EntityId,
+    /// The relation labelling the original triple.
+    pub relation: RelationId,
+    /// `true` if the owning entity is the subject of the original triple.
+    pub outgoing: bool,
+}
+
+/// CSR adjacency: for each entity, a contiguous slice of [`Edge`]s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    edges: Vec<Edge>,
+}
+
+impl Csr {
+    /// Builds the adjacency structure for `n` entities from `triples`.
+    /// Self-loops contribute a single edge.
+    pub fn build(n: usize, triples: &[Triple]) -> Self {
+        let mut counts = vec![0u32; n + 1];
+        for t in triples {
+            counts[t.subject.index() + 1] += 1;
+            if !t.is_loop() {
+                counts[t.object.index() + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let total = offsets[n] as usize;
+        let mut cursor = offsets.clone();
+        let mut edges = vec![
+            Edge {
+                neighbor: EntityId(0),
+                relation: RelationId(0),
+                outgoing: true
+            };
+            total
+        ];
+        for t in triples {
+            let s = t.subject.index();
+            let slot = cursor[s] as usize;
+            edges[slot] = Edge {
+                neighbor: t.object,
+                relation: t.predicate,
+                outgoing: true,
+            };
+            cursor[s] += 1;
+            if !t.is_loop() {
+                let o = t.object.index();
+                let slot = cursor[o] as usize;
+                edges[slot] = Edge {
+                    neighbor: t.subject,
+                    relation: t.predicate,
+                    outgoing: false,
+                };
+                cursor[o] += 1;
+            }
+        }
+        Csr { offsets, edges }
+    }
+
+    /// Number of entities covered.
+    pub fn num_entities(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// All edges incident to `e` (both directions).
+    pub fn neighbors(&self, e: EntityId) -> &[Edge] {
+        let i = e.index();
+        assert!(i + 1 < self.offsets.len(), "entity {e} out of bounds");
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Undirected degree of `e` (number of incident half-edges).
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.neighbors(e).len()
+    }
+
+    /// Degrees of every entity, in id order.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_entities())
+            .map(|i| self.degree(EntityId(i as u32)))
+            .collect()
+    }
+
+    /// Mean undirected degree across all entities (0.0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        let n = self.num_entities();
+        if n == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / n as f64
+        }
+    }
+
+    /// Total number of stored half-edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(EntityId(s), RelationId(p), EntityId(o))
+    }
+
+    #[test]
+    fn build_covers_both_directions() {
+        let csr = Csr::build(3, &[t(0, 0, 1), t(1, 1, 2)]);
+        assert_eq!(csr.num_entities(), 3);
+        assert_eq!(csr.degree(EntityId(0)), 1);
+        assert_eq!(csr.degree(EntityId(1)), 2);
+        assert_eq!(csr.degree(EntityId(2)), 1);
+        let e0 = csr.neighbors(EntityId(0));
+        assert_eq!(e0[0].neighbor, EntityId(1));
+        assert!(e0[0].outgoing);
+        let e2 = csr.neighbors(EntityId(2));
+        assert_eq!(e2[0].neighbor, EntityId(1));
+        assert!(!e2[0].outgoing);
+    }
+
+    #[test]
+    fn self_loop_counts_once() {
+        let csr = Csr::build(2, &[t(0, 0, 0), t(0, 1, 1)]);
+        assert_eq!(csr.degree(EntityId(0)), 2);
+        assert_eq!(csr.degree(EntityId(1)), 1);
+    }
+
+    #[test]
+    fn avg_degree_matches_triples() {
+        // 4 entities, 3 non-loop triples => 6 half-edges => avg 1.5.
+        let csr = Csr::build(4, &[t(0, 0, 1), t(1, 0, 2), t(2, 0, 3)]);
+        assert!((csr.avg_degree() - 1.5).abs() < 1e-9);
+        assert_eq!(csr.num_edges(), 6);
+    }
+
+    #[test]
+    fn isolated_entities_have_empty_neighborhoods() {
+        let csr = Csr::build(5, &[t(0, 0, 1)]);
+        assert!(csr.neighbors(EntityId(3)).is_empty());
+        assert_eq!(csr.degrees(), vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::build(0, &[]);
+        assert_eq!(csr.num_entities(), 0);
+        assert_eq!(csr.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn parallel_edges_are_preserved() {
+        let csr = Csr::build(2, &[t(0, 0, 1), t(0, 1, 1)]);
+        assert_eq!(csr.degree(EntityId(0)), 2);
+        let rels: Vec<u32> = csr
+            .neighbors(EntityId(0))
+            .iter()
+            .map(|e| e.relation.0)
+            .collect();
+        assert_eq!(rels, vec![0, 1]);
+    }
+}

@@ -1,0 +1,411 @@
+//! Gold alignment links and deterministic splitting.
+//!
+//! An alignment set records the gold equivalences between a source and a
+//! target KG. The paper uses 20%/10%/70% train/validation/test splits for
+//! the 1-to-1 benchmarks (§4.2) and, for the non-1-to-1 benchmark, a
+//! *split-integrity* sampling where all links touching the same entity land
+//! in the same split (§5.2). Both splitters live here and are fully
+//! deterministic given a seed.
+
+use crate::error::GraphError;
+use crate::ids::EntityId;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One gold link: `source` (in the source KG) is equivalent to `target`
+/// (in the target KG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Entity in the source KG.
+    pub source: EntityId,
+    /// Entity in the target KG.
+    pub target: EntityId,
+}
+
+impl Link {
+    /// Convenience constructor.
+    pub fn new(source: EntityId, target: EntityId) -> Self {
+        Link { source, target }
+    }
+}
+
+/// A set of gold alignment links.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AlignmentSet {
+    links: Vec<Link>,
+}
+
+/// Train / validation / test partition of an [`AlignmentSet`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlignmentSplits {
+    /// Seed links available to the representation-learning stage.
+    pub train: AlignmentSet,
+    /// Held-out links for hyper-parameter tuning (e.g. Sinkhorn's `l`).
+    pub valid: AlignmentSet,
+    /// Links the matching algorithms are evaluated on.
+    pub test: AlignmentSet,
+}
+
+impl AlignmentSet {
+    /// Creates an alignment set from links.
+    pub fn new(links: Vec<Link>) -> Self {
+        AlignmentSet { links }
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether there are no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Iterates over the links.
+    pub fn iter(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// Slice view of the links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Appends a link.
+    pub fn push(&mut self, link: Link) {
+        self.links.push(link);
+    }
+
+    /// Distinct source entities, in first-appearance order.
+    pub fn sources(&self) -> Vec<EntityId> {
+        let mut seen = std::collections::HashSet::new();
+        self.links
+            .iter()
+            .filter(|l| seen.insert(l.source))
+            .map(|l| l.source)
+            .collect()
+    }
+
+    /// Distinct target entities, in first-appearance order.
+    pub fn targets(&self) -> Vec<EntityId> {
+        let mut seen = std::collections::HashSet::new();
+        self.links
+            .iter()
+            .filter(|l| seen.insert(l.target))
+            .map(|l| l.target)
+            .collect()
+    }
+
+    /// Whether the set satisfies the 1-to-1 constraint (paper §2.3): every
+    /// source and every target appears in at most one link.
+    pub fn is_one_to_one(&self) -> bool {
+        let mut s = std::collections::HashSet::new();
+        let mut t = std::collections::HashSet::new();
+        self.links
+            .iter()
+            .all(|l| s.insert(l.source) && t.insert(l.target))
+    }
+
+    /// Multimap `source -> [targets]`, the gold standard used by the
+    /// evaluation metrics (supports non-1-to-1 sets).
+    pub fn by_source(&self) -> HashMap<EntityId, Vec<EntityId>> {
+        let mut map: HashMap<EntityId, Vec<EntityId>> = HashMap::new();
+        for l in &self.links {
+            map.entry(l.source).or_default().push(l.target);
+        }
+        map
+    }
+
+    /// Multimap `target -> [sources]`.
+    pub fn by_target(&self) -> HashMap<EntityId, Vec<EntityId>> {
+        let mut map: HashMap<EntityId, Vec<EntityId>> = HashMap::new();
+        for l in &self.links {
+            map.entry(l.target).or_default().push(l.source);
+        }
+        map
+    }
+
+    /// Counts of 1-to-1 vs non-1-to-1 links (a link is non-1-to-1 when its
+    /// source or target participates in more than one link). The paper
+    /// reports this breakdown for FB_DBP_MUL (§5.2).
+    pub fn link_multiplicity(&self) -> (usize, usize) {
+        let by_s = self.by_source();
+        let by_t = self.by_target();
+        let mut one = 0;
+        let mut multi = 0;
+        for l in &self.links {
+            if by_s[&l.source].len() == 1 && by_t[&l.target].len() == 1 {
+                one += 1;
+            } else {
+                multi += 1;
+            }
+        }
+        (one, multi)
+    }
+
+    /// Deterministic shuffled split into train/valid/test by link count.
+    /// `train_frac + valid_frac` must be in `[0, 1]`.
+    pub fn split(&self, train_frac: f64, valid_frac: f64, seed: u64) -> Result<AlignmentSplits> {
+        validate_fracs(train_frac, valid_frac)?;
+        let mut links = self.links.clone();
+        shuffle(&mut links, seed);
+        let n = links.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_valid = (n as f64 * valid_frac).round() as usize;
+        let n_valid = n_valid.min(n - n_train.min(n));
+        let test = links.split_off((n_train + n_valid).min(n));
+        let valid = links.split_off(n_train.min(links.len()));
+        Ok(AlignmentSplits {
+            train: AlignmentSet::new(links),
+            valid: AlignmentSet::new(valid),
+            test: AlignmentSet::new(test),
+        })
+    }
+
+    /// Split that preserves link-cluster integrity: links sharing an entity
+    /// (on either side) are grouped with union-find and each whole group is
+    /// assigned to a single split. Fractions are met approximately, by
+    /// greedy first-fit over shuffled groups (paper §5.2 sampling rule).
+    pub fn split_cluster_preserving(
+        &self,
+        train_frac: f64,
+        valid_frac: f64,
+        seed: u64,
+    ) -> Result<AlignmentSplits> {
+        validate_fracs(train_frac, valid_frac)?;
+        let n = self.links.len();
+        // Union links that share a source or a target entity.
+        let mut uf = UnionFind::new(n);
+        let mut by_source: HashMap<EntityId, usize> = HashMap::new();
+        let mut by_target: HashMap<EntityId, usize> = HashMap::new();
+        for (i, l) in self.links.iter().enumerate() {
+            if let Some(&j) = by_source.get(&l.source) {
+                uf.union(i, j);
+            } else {
+                by_source.insert(l.source, i);
+            }
+            if let Some(&j) = by_target.get(&l.target) {
+                uf.union(i, j);
+            } else {
+                by_target.insert(l.target, i);
+            }
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            groups.entry(uf.find(i)).or_default().push(i);
+        }
+        let mut group_list: Vec<Vec<usize>> = groups.into_values().collect();
+        // Deterministic order before shuffling (HashMap order is random).
+        group_list.sort_by_key(|g| g[0]);
+        shuffle(&mut group_list, seed);
+
+        let want_train = (n as f64 * train_frac).round() as usize;
+        let want_valid = (n as f64 * valid_frac).round() as usize;
+        let mut train = Vec::new();
+        let mut valid = Vec::new();
+        let mut test = Vec::new();
+        for group in group_list {
+            let bucket = if train.len() < want_train {
+                &mut train
+            } else if valid.len() < want_valid {
+                &mut valid
+            } else {
+                &mut test
+            };
+            bucket.extend(group.iter().map(|&i| self.links[i]));
+        }
+        Ok(AlignmentSplits {
+            train: AlignmentSet::new(train),
+            valid: AlignmentSet::new(valid),
+            test: AlignmentSet::new(test),
+        })
+    }
+}
+
+impl FromIterator<Link> for AlignmentSet {
+    fn from_iter<I: IntoIterator<Item = Link>>(iter: I) -> Self {
+        AlignmentSet::new(iter.into_iter().collect())
+    }
+}
+
+fn validate_fracs(train: f64, valid: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&train) || !(0.0..=1.0).contains(&valid) || train + valid > 1.0 {
+        return Err(GraphError::InvalidSplit(format!(
+            "train={train}, valid={valid} must be non-negative and sum to at most 1"
+        )));
+    }
+    Ok(())
+}
+
+/// Deterministic Fisher–Yates using SplitMix64 — avoids a `rand` dependency
+/// in this foundational crate while staying reproducible.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// Minimal union-find with path halving and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(s: u32, t: u32) -> Link {
+        Link::new(EntityId(s), EntityId(t))
+    }
+
+    fn sample(n: u32) -> AlignmentSet {
+        (0..n).map(|i| link(i, i + 100)).collect()
+    }
+
+    #[test]
+    fn one_to_one_detection() {
+        assert!(sample(5).is_one_to_one());
+        let multi = AlignmentSet::new(vec![link(0, 10), link(0, 11)]);
+        assert!(!multi.is_one_to_one());
+        let multi_t = AlignmentSet::new(vec![link(0, 10), link(1, 10)]);
+        assert!(!multi_t.is_one_to_one());
+    }
+
+    #[test]
+    fn split_matches_fractions() {
+        let set = sample(100);
+        let s = set.split(0.2, 0.1, 42).unwrap();
+        assert_eq!(s.train.len(), 20);
+        assert_eq!(s.valid.len(), 10);
+        assert_eq!(s.test.len(), 70);
+        // Union of splits is the original set.
+        let mut all: Vec<Link> = s
+            .train
+            .iter()
+            .chain(s.valid.iter())
+            .chain(s.test.iter())
+            .copied()
+            .collect();
+        all.sort_by_key(|l| l.source.0);
+        assert_eq!(all, set.links);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let set = sample(50);
+        let a = set.split(0.2, 0.1, 7).unwrap();
+        let b = set.split(0.2, 0.1, 7).unwrap();
+        assert_eq!(a.train, b.train);
+        let c = set.split(0.2, 0.1, 8).unwrap();
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn split_rejects_bad_fractions() {
+        let set = sample(10);
+        assert!(set.split(0.8, 0.5, 0).is_err());
+        assert!(set.split(-0.1, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn cluster_preserving_split_keeps_groups_together() {
+        // Links 0-2 share source 0; links 3-4 share target 200.
+        let set = AlignmentSet::new(vec![
+            link(0, 10),
+            link(0, 11),
+            link(0, 12),
+            link(5, 200),
+            link(6, 200),
+            link(7, 300),
+            link(8, 301),
+            link(9, 302),
+        ]);
+        let s = set.split_cluster_preserving(0.4, 0.2, 123).unwrap();
+        for split in [&s.train, &s.valid, &s.test] {
+            // Within each split, entity 0's links must be all-or-nothing.
+            let zero_links = split.iter().filter(|l| l.source == EntityId(0)).count();
+            assert!(
+                zero_links == 0 || zero_links == 3,
+                "group split across buckets"
+            );
+            let t200 = split.iter().filter(|l| l.target == EntityId(200)).count();
+            assert!(t200 == 0 || t200 == 2);
+        }
+        let total = s.train.len() + s.valid.len() + s.test.len();
+        assert_eq!(total, set.len());
+    }
+
+    #[test]
+    fn multiplicity_counts() {
+        let set = AlignmentSet::new(vec![link(0, 10), link(0, 11), link(1, 12)]);
+        let (one, multi) = set.link_multiplicity();
+        assert_eq!(one, 1);
+        assert_eq!(multi, 2);
+    }
+
+    #[test]
+    fn by_source_collects_all_targets() {
+        let set = AlignmentSet::new(vec![link(0, 10), link(0, 11), link(1, 12)]);
+        let map = set.by_source();
+        assert_eq!(map[&EntityId(0)], vec![EntityId(10), EntityId(11)]);
+        assert_eq!(map[&EntityId(1)], vec![EntityId(12)]);
+    }
+
+    #[test]
+    fn sources_and_targets_deduplicate() {
+        let set = AlignmentSet::new(vec![link(0, 10), link(0, 11), link(1, 10)]);
+        assert_eq!(set.sources(), vec![EntityId(0), EntityId(1)]);
+        assert_eq!(set.targets(), vec![EntityId(10), EntityId(11)]);
+    }
+
+    #[test]
+    fn union_find_groups_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+    }
+}

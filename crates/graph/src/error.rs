@@ -1,0 +1,88 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, validating, or loading knowledge graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An entity id referenced by a triple or link does not exist.
+    UnknownEntity(u32),
+    /// A relation id referenced by a triple does not exist.
+    UnknownRelation(u32),
+    /// A TSV line did not have the expected number of fields.
+    MalformedLine {
+        /// Path of the offending file.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An alignment link referenced a name absent from the KG.
+    UnknownLinkEndpoint(String),
+    /// Split fractions were invalid (negative or summing above 1).
+    InvalidSplit(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownEntity(id) => write!(f, "unknown entity id {id}"),
+            GraphError::UnknownRelation(id) => write!(f, "unknown relation id {id}"),
+            GraphError::MalformedLine {
+                file,
+                line,
+                expected,
+            } => {
+                write!(f, "{file}:{line}: malformed line, expected {expected}")
+            }
+            GraphError::UnknownLinkEndpoint(name) => {
+                write!(f, "alignment link endpoint {name:?} not present in KG")
+            }
+            GraphError::InvalidSplit(msg) => write!(f, "invalid split: {msg}"),
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let err = GraphError::MalformedLine {
+            file: "triples_1".into(),
+            line: 12,
+            expected: "3 fields",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("triples_1:12"));
+        assert!(msg.contains("3 fields"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err: GraphError = io.into();
+        assert!(matches!(err, GraphError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,231 @@
+//! The immutable [`KnowledgeGraph`] and its builder.
+
+use crate::adjacency::Csr;
+use crate::error::GraphError;
+use crate::ids::{EntityId, RelationId};
+use crate::interner::Interner;
+use crate::triple::Triple;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// An immutable knowledge graph: interned symbols, a triple list, and a
+/// frozen CSR adjacency.
+///
+/// Graphs are constructed through [`KgBuilder`]; freezing at build time means
+/// every downstream consumer (encoders, statistics, generators) can assume
+/// the adjacency is consistent with the triple list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnowledgeGraph {
+    name: String,
+    entities: Interner,
+    relations: Interner,
+    triples: Vec<Triple>,
+    adjacency: Csr,
+}
+
+impl KnowledgeGraph {
+    /// Human-readable graph name (e.g. `"DBpedia(en)"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of distinct relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of triples.
+    pub fn num_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// All triples.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Frozen adjacency structure.
+    pub fn adjacency(&self) -> &Csr {
+        &self.adjacency
+    }
+
+    /// Resolves an entity id to its symbol.
+    pub fn entity_name(&self, e: EntityId) -> Option<&str> {
+        self.entities.resolve(e.0)
+    }
+
+    /// Resolves a relation id to its symbol.
+    pub fn relation_name(&self, r: RelationId) -> Option<&str> {
+        self.relations.resolve(r.0)
+    }
+
+    /// Looks up an entity by symbol.
+    pub fn entity_id(&self, name: &str) -> Option<EntityId> {
+        self.entities.get(name).map(EntityId)
+    }
+
+    /// Looks up a relation by symbol.
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.relations.get(name).map(RelationId)
+    }
+
+    /// Iterates over `(EntityId, name)` in id order.
+    pub fn entities(&self) -> impl Iterator<Item = (EntityId, &str)> {
+        self.entities.iter().map(|(id, n)| (EntityId(id), n))
+    }
+
+    /// Mean undirected entity degree (Table 3's "Avg. degree" per KG).
+    pub fn avg_degree(&self) -> f64 {
+        self.adjacency.avg_degree()
+    }
+
+    /// Rebuilds transient lookup state after deserialization.
+    pub fn rehydrate(&mut self) {
+        self.entities.rebuild_index();
+        self.relations.rebuild_index();
+    }
+}
+
+/// Incremental builder for [`KnowledgeGraph`].
+#[derive(Debug, Default)]
+pub struct KgBuilder {
+    name: String,
+    entities: Interner,
+    relations: Interner,
+    triples: Vec<Triple>,
+}
+
+impl KgBuilder {
+    /// Starts a builder for a graph called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KgBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Pre-registers an entity symbol (used for isolated entities, which
+    /// appear in alignment files but not necessarily in any triple).
+    pub fn add_entity(&mut self, name: &str) -> EntityId {
+        EntityId(self.entities.intern(name))
+    }
+
+    /// Pre-registers a relation symbol. Needed when triples are added by id
+    /// via [`Self::add_triple_ids`].
+    pub fn add_relation(&mut self, name: &str) -> RelationId {
+        RelationId(self.relations.intern(name))
+    }
+
+    /// Adds a triple given symbolic endpoints, interning as needed.
+    pub fn add_triple(&mut self, subject: &str, predicate: &str, object: &str) {
+        let s = EntityId(self.entities.intern(subject));
+        let p = RelationId(self.relations.intern(predicate));
+        let o = EntityId(self.entities.intern(object));
+        self.triples.push(Triple::new(s, p, o));
+    }
+
+    /// Adds a triple with pre-interned ids; validated at [`Self::build`].
+    pub fn add_triple_ids(&mut self, t: Triple) {
+        self.triples.push(t);
+    }
+
+    /// Number of entities interned so far.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Triples added so far (ids are not yet validated).
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Number of triples added so far.
+    pub fn num_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Validates all ids and freezes the graph (building CSR adjacency).
+    pub fn build(self) -> Result<KnowledgeGraph> {
+        let n = self.entities.len() as u32;
+        let r = self.relations.len() as u32;
+        for t in &self.triples {
+            if t.subject.0 >= n {
+                return Err(GraphError::UnknownEntity(t.subject.0));
+            }
+            if t.object.0 >= n {
+                return Err(GraphError::UnknownEntity(t.object.0));
+            }
+            if t.predicate.0 >= r {
+                return Err(GraphError::UnknownRelation(t.predicate.0));
+            }
+        }
+        let adjacency = Csr::build(self.entities.len(), &self.triples);
+        Ok(KnowledgeGraph {
+            name: self.name,
+            entities: self.entities,
+            relations: self.relations,
+            triples: self.triples,
+            adjacency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_and_freezes() {
+        let mut b = KgBuilder::new("toy");
+        b.add_triple("a", "likes", "b");
+        b.add_triple("b", "likes", "c");
+        b.add_triple("a", "knows", "c");
+        let kg = b.build().unwrap();
+        assert_eq!(kg.name(), "toy");
+        assert_eq!(kg.num_entities(), 3);
+        assert_eq!(kg.num_relations(), 2);
+        assert_eq!(kg.num_triples(), 3);
+        let a = kg.entity_id("a").unwrap();
+        assert_eq!(kg.adjacency().degree(a), 2);
+        assert_eq!(kg.entity_name(a), Some("a"));
+    }
+
+    #[test]
+    fn isolated_entity_is_kept() {
+        let mut b = KgBuilder::new("toy");
+        b.add_entity("ghost");
+        b.add_triple("a", "r", "b");
+        let kg = b.build().unwrap();
+        assert_eq!(kg.num_entities(), 3);
+        let ghost = kg.entity_id("ghost").unwrap();
+        assert_eq!(kg.adjacency().degree(ghost), 0);
+    }
+
+    #[test]
+    fn build_rejects_dangling_ids() {
+        let mut b = KgBuilder::new("bad");
+        b.add_entity("only");
+        b.add_triple_ids(Triple::new(EntityId(0), RelationId(0), EntityId(7)));
+        assert!(matches!(b.build(), Err(GraphError::UnknownEntity(7))));
+
+        let mut b2 = KgBuilder::new("bad2");
+        b2.add_entity("x");
+        b2.add_triple_ids(Triple::new(EntityId(0), RelationId(3), EntityId(0)));
+        assert!(matches!(b2.build(), Err(GraphError::UnknownRelation(3))));
+    }
+
+    #[test]
+    fn avg_degree_reported() {
+        let mut b = KgBuilder::new("deg");
+        b.add_triple("a", "r", "b");
+        b.add_triple("b", "r", "c");
+        let kg = b.build().unwrap();
+        // 2 triples * 2 half-edges / 3 entities.
+        assert!((kg.avg_degree() - 4.0 / 3.0).abs() < 1e-9);
+    }
+}

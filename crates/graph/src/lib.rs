@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Knowledge-graph data model for the EntMatcher reproduction.
+//!
+//! A KG is a set of `(subject, predicate, object)` triples over interned
+//! entity and relation identifiers (paper §2.1). This crate provides:
+//!
+//! * compact [`EntityId`]/[`RelationId`] newtypes and a string [`Interner`],
+//! * an immutable [`KnowledgeGraph`] with CSR adjacency for fast
+//!   neighbourhood traversal (the representation-learning encoders propagate
+//!   over it),
+//! * [`AlignmentSet`]s of gold entity links with deterministic train /
+//!   validation / test splitting — including the *split-integrity* sampling
+//!   the paper uses for the non-1-to-1 benchmark (links touching the same
+//!   entity must land in the same split, §5.2),
+//! * dataset statistics matching the paper's Table 3, and
+//! * OpenEA-style TSV I/O so real benchmark dumps can be loaded unchanged.
+
+pub mod adjacency;
+pub mod alignment;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod metrics;
+pub mod pair;
+pub mod stats;
+pub mod triple;
+
+pub use adjacency::Csr;
+pub use alignment::{AlignmentSet, AlignmentSplits, Link};
+pub use error::GraphError;
+pub use graph::{KgBuilder, KnowledgeGraph};
+pub use ids::{EntityId, RelationId};
+pub use interner::Interner;
+pub use pair::KgPair;
+pub use stats::DatasetStats;
+pub use triple::Triple;
+
+/// Result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

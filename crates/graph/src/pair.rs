@@ -1,0 +1,166 @@
+//! A pair of knowledge graphs with gold alignment and splits — one
+//! benchmark "KG pair" in the paper's terminology (e.g. D-Z, S-F).
+
+use crate::alignment::{AlignmentSet, AlignmentSplits};
+use crate::graph::KnowledgeGraph;
+use crate::stats::DatasetStats;
+use serde::{Deserialize, Serialize};
+
+/// A source/target KG pair plus its gold alignment, pre-split into
+/// train / validation / test link sets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KgPair {
+    /// Short benchmark id, e.g. `"D-Z"`.
+    pub id: String,
+    /// Source KG (entities on the left of every link).
+    pub source: KnowledgeGraph,
+    /// Target KG.
+    pub target: KnowledgeGraph,
+    /// All gold links (union of the splits).
+    pub gold: AlignmentSet,
+    /// The train/valid/test partition of `gold`.
+    pub splits: AlignmentSplits,
+    /// Source entities that exist only in the source KG (paper §5.1's
+    /// unmatchable setting, DBP15K+). Empty on classic benchmarks. These
+    /// entities join the test-time candidate set but have no gold link.
+    #[serde(default)]
+    pub unmatchable_sources: Vec<crate::ids::EntityId>,
+    /// Target-side unmatchable entities (see `unmatchable_sources`).
+    #[serde(default)]
+    pub unmatchable_targets: Vec<crate::ids::EntityId>,
+}
+
+impl KgPair {
+    /// Assembles a pair, splitting `gold` with the paper's default 20/10/70
+    /// ratio unless the alignment is non-1-to-1, in which case the
+    /// cluster-preserving 70/10/20 sampling of §5.2 is used.
+    pub fn new(
+        id: impl Into<String>,
+        source: KnowledgeGraph,
+        target: KnowledgeGraph,
+        gold: AlignmentSet,
+        seed: u64,
+    ) -> crate::Result<Self> {
+        let splits = if gold.is_one_to_one() {
+            gold.split(0.2, 0.1, seed)?
+        } else {
+            gold.split_cluster_preserving(0.7, 0.1, seed)?
+        };
+        Ok(KgPair {
+            id: id.into(),
+            source,
+            target,
+            gold,
+            splits,
+            unmatchable_sources: Vec::new(),
+            unmatchable_targets: Vec::new(),
+        })
+    }
+
+    /// Assembles a pair with explicit, pre-computed splits.
+    pub fn with_splits(
+        id: impl Into<String>,
+        source: KnowledgeGraph,
+        target: KnowledgeGraph,
+        gold: AlignmentSet,
+        splits: AlignmentSplits,
+    ) -> Self {
+        KgPair {
+            id: id.into(),
+            source,
+            target,
+            gold,
+            splits,
+            unmatchable_sources: Vec::new(),
+            unmatchable_targets: Vec::new(),
+        }
+    }
+
+    /// Dataset statistics in the shape of the paper's Table 3.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::from_pair(self)
+    }
+
+    /// Seed links used by representation learning.
+    pub fn train_links(&self) -> &AlignmentSet {
+        &self.splits.train
+    }
+
+    /// Validation links.
+    pub fn valid_links(&self) -> &AlignmentSet {
+        &self.splits.valid
+    }
+
+    /// Test links the matchers are scored on.
+    pub fn test_links(&self) -> &AlignmentSet {
+        &self.splits.test
+    }
+
+    /// Restores transient lookup state after deserialization.
+    pub fn rehydrate(&mut self) {
+        self.source.rehydrate();
+        self.target.rehydrate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::Link;
+    use crate::graph::KgBuilder;
+    use crate::ids::EntityId;
+
+    fn tiny_pair() -> KgPair {
+        let mut s = KgBuilder::new("src");
+        let mut t = KgBuilder::new("tgt");
+        for i in 0..10u32 {
+            s.add_entity(&format!("s{i}"));
+            t.add_entity(&format!("t{i}"));
+        }
+        s.add_triple("s0", "r", "s1");
+        t.add_triple("t0", "r", "t1");
+        let gold = (0..10)
+            .map(|i| Link::new(EntityId(i), EntityId(i)))
+            .collect();
+        KgPair::new("toy", s.build().unwrap(), t.build().unwrap(), gold, 1).unwrap()
+    }
+
+    #[test]
+    fn default_split_is_20_10_70() {
+        let pair = tiny_pair();
+        assert_eq!(pair.train_links().len(), 2);
+        assert_eq!(pair.valid_links().len(), 1);
+        assert_eq!(pair.test_links().len(), 7);
+    }
+
+    #[test]
+    fn non_one_to_one_uses_cluster_preserving_split() {
+        let mut s = KgBuilder::new("src");
+        let mut t = KgBuilder::new("tgt");
+        for i in 0..20u32 {
+            s.add_entity(&format!("s{i}"));
+            t.add_entity(&format!("t{i}"));
+        }
+        let mut links = vec![
+            Link::new(EntityId(0), EntityId(0)),
+            Link::new(EntityId(0), EntityId(1)),
+        ];
+        links.extend((2..20).map(|i| Link::new(EntityId(i), EntityId(i))));
+        let gold = AlignmentSet::new(links);
+        let pair = KgPair::new("multi", s.build().unwrap(), t.build().unwrap(), gold, 3).unwrap();
+        // The duplicated source's links must live in a single split.
+        for split in [&pair.splits.train, &pair.splits.valid, &pair.splits.test] {
+            let n = split.iter().filter(|l| l.source == EntityId(0)).count();
+            assert!(n == 0 || n == 2);
+        }
+    }
+
+    #[test]
+    fn stats_reflect_pair() {
+        let pair = tiny_pair();
+        let stats = pair.stats();
+        assert_eq!(stats.entities, 20);
+        assert_eq!(stats.gold_links, 10);
+        assert_eq!(stats.triples, 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Dataset statistics in the shape of the paper's Table 3.
+
+use crate::pair::KgPair;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one benchmark KG pair: the paper's Table 3
+/// reports combined counts over both KGs of a pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Benchmark id, e.g. `"D-Z"`.
+    pub id: String,
+    /// Total entities across both KGs.
+    pub entities: usize,
+    /// Total distinct relations across both KGs.
+    pub relations: usize,
+    /// Total triples across both KGs.
+    pub triples: usize,
+    /// Number of gold alignment links.
+    pub gold_links: usize,
+    /// Count of 1-to-1 gold links.
+    pub one_to_one_links: usize,
+    /// Count of non-1-to-1 gold links.
+    pub multi_links: usize,
+    /// Average entity degree over both KGs, computed as `triples / entities`
+    /// to match the convention of the paper's Table 3 (e.g. D-Z: 165,556
+    /// triples over 38,960 entities gives 4.2).
+    pub avg_degree: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a KG pair.
+    pub fn from_pair(pair: &KgPair) -> Self {
+        let entities = pair.source.num_entities() + pair.target.num_entities();
+        let triples = pair.source.num_triples() + pair.target.num_triples();
+        let (one, multi) = pair.gold.link_multiplicity();
+        DatasetStats {
+            id: pair.id.clone(),
+            entities,
+            relations: pair.source.num_relations() + pair.target.num_relations(),
+            triples,
+            gold_links: pair.gold.len(),
+            one_to_one_links: one,
+            multi_links: multi,
+            avg_degree: if entities == 0 {
+                0.0
+            } else {
+                triples as f64 / entities as f64
+            },
+        }
+    }
+
+    /// Formats one row of a Table-3-style report.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{:<12} {:>9} {:>9} {:>9} {:>9} {:>7.1}",
+            self.id, self.entities, self.relations, self.triples, self.gold_links, self.avg_degree
+        )
+    }
+
+    /// Header matching [`Self::to_row`].
+    pub fn header() -> String {
+        format!(
+            "{:<12} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "Pair", "#Ent", "#Rel", "#Triples", "#Links", "AvgDeg"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::Link;
+    use crate::graph::KgBuilder;
+    use crate::ids::EntityId;
+    use crate::pair::KgPair;
+
+    #[test]
+    fn stats_combine_both_graphs() {
+        let mut s = KgBuilder::new("src");
+        s.add_triple("a", "r1", "b");
+        s.add_triple("b", "r2", "c");
+        let mut t = KgBuilder::new("tgt");
+        t.add_triple("x", "p1", "y");
+        let gold = AlignmentSetFixture::links();
+        let pair = KgPair::new("T", s.build().unwrap(), t.build().unwrap(), gold, 0).unwrap();
+        let st = pair.stats();
+        assert_eq!(st.entities, 5);
+        assert_eq!(st.relations, 3);
+        assert_eq!(st.triples, 3);
+        assert_eq!(st.gold_links, 2);
+        // 3 triples over 5 entities (Table 3 convention).
+        assert!((st.avg_degree - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_formatting_contains_id() {
+        let mut s = KgBuilder::new("src");
+        s.add_triple("a", "r", "b");
+        let mut t = KgBuilder::new("tgt");
+        t.add_triple("x", "p", "y");
+        let pair = KgPair::new(
+            "D-Z",
+            s.build().unwrap(),
+            t.build().unwrap(),
+            AlignmentSetFixture::links(),
+            0,
+        )
+        .unwrap();
+        let row = pair.stats().to_row();
+        assert!(row.starts_with("D-Z"));
+        assert_eq!(DatasetStats::header().split_whitespace().count(), 6);
+    }
+
+    struct AlignmentSetFixture;
+    impl AlignmentSetFixture {
+        fn links() -> crate::alignment::AlignmentSet {
+            crate::alignment::AlignmentSet::new(vec![
+                Link::new(EntityId(0), EntityId(0)),
+                Link::new(EntityId(1), EntityId(1)),
+            ])
+        }
+    }
+}

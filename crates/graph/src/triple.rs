@@ -1,0 +1,62 @@
+//! Relational triples `(subject, predicate, object)`.
+
+use crate::ids::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+
+/// A single relational fact: `subject --predicate--> object`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject (head) entity.
+    pub subject: EntityId,
+    /// Predicate (relation).
+    pub predicate: RelationId,
+    /// Object (tail) entity.
+    pub object: EntityId,
+}
+
+impl Triple {
+    /// Convenience constructor.
+    pub fn new(subject: EntityId, predicate: RelationId, object: EntityId) -> Self {
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Returns the triple with subject and object swapped. Useful when
+    /// treating the graph as undirected for propagation.
+    pub fn reversed(self) -> Self {
+        Triple {
+            subject: self.object,
+            predicate: self.predicate,
+            object: self.subject,
+        }
+    }
+
+    /// Whether the triple is a self-loop.
+    pub fn is_loop(self) -> bool {
+        self.subject == self.object
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = Triple::new(EntityId(1), RelationId(2), EntityId(3));
+        let r = t.reversed();
+        assert_eq!(r.subject, EntityId(3));
+        assert_eq!(r.object, EntityId(1));
+        assert_eq!(r.predicate, RelationId(2));
+        assert_eq!(r.reversed(), t);
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(Triple::new(EntityId(5), RelationId(0), EntityId(5)).is_loop());
+        assert!(!Triple::new(EntityId(5), RelationId(0), EntityId(6)).is_loop());
+    }
+}

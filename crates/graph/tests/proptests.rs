@@ -1,0 +1,114 @@
+//! Property-based tests of the KG data model invariants.
+
+use entmatcher_graph::{AlignmentSet, Csr, EntityId, KgBuilder, Link, RelationId, Triple};
+use proptest::prelude::*;
+
+fn triples(n_entities: u32, max_len: usize) -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec(
+        (0..n_entities, 0u32..5, 0..n_entities)
+            .prop_map(|(s, p, o)| Triple::new(EntityId(s), RelationId(p), EntityId(o))),
+        0..max_len,
+    )
+}
+
+fn links(max_id: u32, max_len: usize) -> impl Strategy<Value = Vec<Link>> {
+    proptest::collection::vec(
+        (0..max_id, 0..max_id).prop_map(|(s, t)| Link::new(EntityId(s), EntityId(t))),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_degree_sum_equals_half_edges(ts in triples(20, 60)) {
+        let csr = Csr::build(20, &ts);
+        let total: usize = csr.degrees().iter().sum();
+        prop_assert_eq!(total, csr.num_edges());
+        // Each non-loop triple contributes 2 half-edges, loops 1.
+        let expected: usize = ts.iter().map(|t| if t.is_loop() { 1 } else { 2 }).sum();
+        prop_assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn csr_neighbors_are_symmetric(ts in triples(15, 40)) {
+        let csr = Csr::build(15, &ts);
+        for e in 0..15u32 {
+            for edge in csr.neighbors(EntityId(e)) {
+                // The reverse direction must exist on the neighbour, with
+                // flipped orientation (unless a self-loop).
+                if edge.neighbor == EntityId(e) {
+                    continue;
+                }
+                let back = csr
+                    .neighbors(edge.neighbor)
+                    .iter()
+                    .any(|b| b.neighbor == EntityId(e)
+                        && b.relation == edge.relation
+                        && b.outgoing != edge.outgoing);
+                prop_assert!(back, "edge {e}->{:?} has no mirror", edge.neighbor);
+            }
+        }
+    }
+
+    #[test]
+    fn split_partitions_links_exactly(ls in links(100, 80), seed in 0u64..1000) {
+        let set = AlignmentSet::new(ls.clone());
+        let splits = set.split(0.2, 0.1, seed).unwrap();
+        let total = splits.train.len() + splits.valid.len() + splits.test.len();
+        prop_assert_eq!(total, ls.len());
+        // Union as multiset equals the original.
+        let mut got: Vec<(u32, u32)> = splits
+            .train
+            .iter()
+            .chain(splits.valid.iter())
+            .chain(splits.test.iter())
+            .map(|l| (l.source.0, l.target.0))
+            .collect();
+        let mut want: Vec<(u32, u32)> = ls.iter().map(|l| (l.source.0, l.target.0)).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cluster_preserving_split_has_integrity(ls in links(30, 60), seed in 0u64..1000) {
+        let set = AlignmentSet::new(ls);
+        let splits = set.split_cluster_preserving(0.5, 0.2, seed).unwrap();
+        // No entity may appear (as source or target) in two splits.
+        let collect = |s: &AlignmentSet| -> (std::collections::HashSet<u32>, std::collections::HashSet<u32>) {
+            (
+                s.iter().map(|l| l.source.0).collect(),
+                s.iter().map(|l| l.target.0).collect(),
+            )
+        };
+        let (tr_s, tr_t) = collect(&splits.train);
+        let (va_s, va_t) = collect(&splits.valid);
+        let (te_s, te_t) = collect(&splits.test);
+        prop_assert!(tr_s.is_disjoint(&va_s) && tr_s.is_disjoint(&te_s) && va_s.is_disjoint(&te_s));
+        prop_assert!(tr_t.is_disjoint(&va_t) && tr_t.is_disjoint(&te_t) && va_t.is_disjoint(&te_t));
+    }
+
+    #[test]
+    fn multiplicity_counts_are_a_partition(ls in links(40, 60)) {
+        let set = AlignmentSet::new(ls);
+        let (one, multi) = set.link_multiplicity();
+        prop_assert_eq!(one + multi, set.len());
+    }
+
+    #[test]
+    fn builder_roundtrips_symbols(names in proptest::collection::hash_set("[a-z]{1,8}", 1..20)) {
+        let mut b = KgBuilder::new("prop");
+        let names: Vec<String> = names.into_iter().collect();
+        for n in &names {
+            b.add_entity(n);
+        }
+        let kg = b.build().unwrap();
+        prop_assert_eq!(kg.num_entities(), names.len());
+        for n in &names {
+            let id = kg.entity_id(n).unwrap();
+            prop_assert_eq!(kg.entity_name(id), Some(n.as_str()));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for linalg operations.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The provided buffer length does not match `rows * cols`.
+    ShapeMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Actual number of elements provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible dimensions.
+    DimMismatch {
+        /// Human-readable description of the failing operation.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        left: (usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize),
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A binary snapshot could not be decoded.
+    CorruptSnapshot(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape ({expected} expected)"
+                )
+            }
+            LinalgError::DimMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds ({bound})")
+            }
+            LinalgError::CorruptSnapshot(msg) => write!(f, "corrupt matrix snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = LinalgError::DimMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+    }
+
+    #[test]
+    fn shape_mismatch_display() {
+        let err = LinalgError::ShapeMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(err.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Dense linear-algebra kernels for the EntMatcher reproduction.
+//!
+//! Everything in the embedding-matching pipeline is built on one data
+//! structure: a dense, row-major `f32` [`Matrix`]. Entity embeddings are an
+//! `n x d` matrix, pairwise score matrices are `n_s x n_t`, and every score
+//! optimizer (CSLS, RInf, Sinkhorn) is a transformation of such a matrix.
+//!
+//! The crate deliberately avoids external BLAS: the kernels the paper's
+//! algorithms need (row-normalized products, per-row top-k, argsort/ranking,
+//! row/column normalization) are simple enough that contiguous row-major
+//! loops auto-vectorize well, and keeping them local lets the evaluation
+//! harness account for every byte of auxiliary memory (paper Figure 5).
+//!
+//! Parallelism uses `std::thread::scope` over contiguous row chunks (see
+//! [`parallel`]); no work-stealing runtime is required for the regular,
+//! embarrassingly parallel loops in this workload.
+
+pub mod error;
+pub mod matrix;
+pub mod ops;
+pub mod parallel;
+pub mod rank;
+pub mod snapshot;
+pub mod stats;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use ops::{dot, l2_norm, matmul_transposed, normalize_rows_l2};
+pub use rank::{argmax, argsort_desc, rank_desc, top_k_desc};
+
+/// Result alias for fallible linalg operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

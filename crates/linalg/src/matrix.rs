@@ -1,0 +1,369 @@
+//! Dense row-major `f32` matrix.
+
+use crate::error::LinalgError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// Row-major layout keeps each embedding / score row contiguous, which is
+/// what every kernel in this workspace iterates over. All indexing methods
+/// are bounds-checked; hot loops should obtain row slices once and iterate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Wraps an existing buffer. Fails if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Heap bytes held by the element buffer. Used by the efficiency
+    /// accounting in the evaluation harness (paper Figure 5).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Contiguous view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector (columns are strided).
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col {c} out of bounds ({})", self.cols);
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
+    }
+
+    /// Immutable view of the full element buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the full element buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over `(row_index, row_slice)` pairs.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (usize, &[f32])> {
+        self.data
+            .chunks_exact(self.cols.max(1))
+            .enumerate()
+            .take(self.rows)
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self = self * a + b * scale` with shape checking.
+    pub fn scaled_add(&mut self, b: &Matrix, scale: f32) -> Result<()> {
+        if self.shape() != b.shape() {
+            return Err(LinalgError::DimMismatch {
+                op: "scaled_add",
+                left: self.shape(),
+                right: b.shape(),
+            });
+        }
+        for (x, y) in self.data.iter_mut().zip(b.data.iter()) {
+            *x += *y * scale;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Maximum element (NaN-safe: NaNs are ignored; `None` on empty).
+    pub fn max_element(&self) -> Option<f32> {
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    Some(m) if m >= v => m,
+                    _ => v,
+                })
+            })
+    }
+
+    /// Minimum element (NaN-safe; `None` on empty).
+    pub fn min_element(&self) -> Option<f32> {
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .fold(None, |acc, v| {
+                Some(match acc {
+                    Some(m) if m <= v => m,
+                    _ => v,
+                })
+            })
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hcat(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::DimMismatch {
+                op: "hcat",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            let dst = out.row_mut(r);
+            dst[..self.cols].copy_from_slice(self.row(r));
+            dst[self.cols..].copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Extracts the sub-matrix formed by the given row indices.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            if src >= self.rows {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: src,
+                    bound: self.rows,
+                });
+            }
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_correct_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 3, vec![0.0; 5]).is_err());
+        assert!(Matrix::from_vec(2, 3, vec![0.0; 6]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 0, 3.5);
+        assert_eq!(m.get(1, 0), 3.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_views_are_contiguous() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        assert_eq!(m.row(1), &[2.0, 3.0]);
+        assert_eq!(m.col(1), vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 31 + c * 7) as f32);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = Matrix::from_fn(2, 3, |r, c| (10 * r + c) as f32);
+        let t = m.transposed();
+        assert_eq!(t.shape(), (3, 2));
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(m.get(r, c), t.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_add_checks_shape() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.scaled_add(&b, 1.0).is_err());
+        let c = Matrix::filled(2, 2, 2.0);
+        a.scaled_add(&c, 0.5).unwrap();
+        assert_eq!(a.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn hcat_concatenates_columns() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 3, 2.0);
+        let c = a.hcat(&b).unwrap();
+        assert_eq!(c.shape(), (2, 5));
+        assert_eq!(c.row(0), &[1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn select_rows_picks_and_validates() {
+        let m = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let s = m.select_rows(&[3, 1]).unwrap();
+        assert_eq!(s.row(0), &[3.0, 3.0]);
+        assert_eq!(s.row(1), &[1.0, 1.0]);
+        assert!(m.select_rows(&[4]).is_err());
+    }
+
+    #[test]
+    fn max_min_handle_nan() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, f32::NAN, -2.0, 0.5]).unwrap();
+        assert_eq!(m.max_element(), Some(1.0));
+        assert_eq!(m.min_element(), Some(-2.0));
+        let empty = Matrix::zeros(0, 0);
+        assert_eq!(empty.max_element(), None);
+    }
+
+    #[test]
+    fn map_inplace_applies_everywhere() {
+        let mut m = Matrix::filled(2, 2, 2.0);
+        m.map_inplace(|v| v * v);
+        assert!(m.as_slice().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn iter_rows_yields_all_rows() {
+        let m = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        let rows: Vec<_> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].1, &[2.0, 3.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Core vector/matrix kernels: dot products, norms, normalized products.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::parallel::par_row_chunks_mut;
+use crate::Result;
+
+/// Dot product of two equal-length slices.
+///
+/// Written as a plain indexed fold over zipped slices so LLVM can unroll and
+/// vectorize; embedding dimensions in this workspace are small multiples of 8.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn l2_norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Normalizes every row of `m` to unit L2 norm in place. Zero rows are left
+/// untouched (they stay zero rather than becoming NaN).
+pub fn normalize_rows_l2(m: &mut Matrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    par_row_chunks_mut(m.as_mut_slice(), cols, |_, chunk| {
+        for row in chunk.chunks_exact_mut(cols) {
+            let norm = l2_norm(row);
+            if norm > f32::EPSILON {
+                let inv = 1.0 / norm;
+                for v in row.iter_mut() {
+                    *v *= inv;
+                }
+            }
+        }
+    });
+}
+
+/// Computes `A * B^T` where `A` is `m x d` and `B` is `n x d`, yielding the
+/// `m x n` matrix of pairwise dot products. This is the workhorse behind
+/// every similarity matrix in the pipeline.
+///
+/// Parallelized over rows of `A`; the inner loop streams both operands
+/// contiguously (each output element is a dot product of two contiguous
+/// d-length rows), which auto-vectorizes.
+pub fn matmul_transposed(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::DimMismatch {
+            op: "matmul_transposed",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    let a_ref = &a;
+    let b_ref = &b;
+    par_row_chunks_mut(out.as_mut_slice(), n.max(1), |start_row, chunk| {
+        for (local, out_row) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+            let ar = a_ref.row(start_row + local);
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                *slot = dot(ar, b_ref.row(j));
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Sums each row of `m` into a vector of length `rows`.
+pub fn row_sums(m: &Matrix) -> Vec<f32> {
+    m.iter_rows().map(|(_, row)| row.iter().sum()).collect()
+}
+
+/// Sums each column of `m` into a vector of length `cols`.
+pub fn col_sums(m: &Matrix) -> Vec<f32> {
+    let mut sums = vec![0.0f32; m.cols()];
+    for (_, row) in m.iter_rows() {
+        for (s, &v) in sums.iter_mut().zip(row.iter()) {
+            *s += v;
+        }
+    }
+    sums
+}
+
+/// Mean of each row.
+pub fn row_means(m: &Matrix) -> Vec<f32> {
+    if m.cols() == 0 {
+        return vec![0.0; m.rows()];
+    }
+    let inv = 1.0 / m.cols() as f32;
+    row_sums(m).into_iter().map(|s| s * inv).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert!(approx(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0));
+        assert!(approx(dot(&[], &[]), 0.0));
+    }
+
+    #[test]
+    fn l2_norm_matches_hand_value() {
+        assert!(approx(l2_norm(&[3.0, 4.0]), 5.0));
+    }
+
+    #[test]
+    fn normalize_rows_gives_unit_norm() {
+        let mut m = Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]).unwrap();
+        normalize_rows_l2(&mut m);
+        assert!(approx(l2_norm(m.row(0)), 1.0));
+        // Zero row must remain zero, not become NaN.
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_naive() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.5);
+        let b = Matrix::from_fn(5, 4, |r, c| (r + c) as f32 - 2.0);
+        let got = matmul_transposed(&a, &b).unwrap();
+        assert_eq!(got.shape(), (3, 5));
+        for i in 0..3 {
+            for j in 0..5 {
+                let want = dot(a.row(i), b.row(j));
+                assert!(approx(got.get(i, j), want));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_checks_inner_dim() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        assert!(matmul_transposed(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_transposed_large_is_consistent() {
+        // Exercise the parallel path (enough rows for several chunks).
+        let a = Matrix::from_fn(600, 8, |r, c| ((r * 7 + c * 3) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(600, 8, |r, c| ((r * 5 + c * 11) % 17) as f32 - 8.0);
+        let got = matmul_transposed(&a, &b).unwrap();
+        for &(i, j) in &[(0, 0), (599, 599), (123, 456), (456, 123)] {
+            assert!(approx(got.get(i, j), dot(a.row(i), b.row(j))));
+        }
+    }
+
+    #[test]
+    fn sums_and_means() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(row_sums(&m), vec![6.0, 15.0]);
+        assert_eq!(col_sums(&m), vec![5.0, 7.0, 9.0]);
+        assert_eq!(row_means(&m), vec![2.0, 5.0]);
+    }
+}

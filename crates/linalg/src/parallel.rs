@@ -1,0 +1,146 @@
+//! Scoped-thread helpers for row-parallel kernels.
+//!
+//! All heavy loops in the matching pipeline are over independent rows of a
+//! score matrix. `std::thread::scope` lets us split the row range across a
+//! small fixed pool without any runtime dependency; chunks are contiguous so
+//! each worker streams through cache-friendly memory.
+
+use std::num::NonZeroUsize;
+
+/// Returns the worker count used by the parallel kernels: the machine's
+/// available parallelism, capped so tiny inputs do not pay spawn overhead.
+pub fn worker_count(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    // Each worker should own at least ~256 rows; below that threads cost
+    // more than they save on these memory-bound loops.
+    hw.min(items / 256 + 1).max(1)
+}
+
+/// Runs `f(start_row, chunk)` over contiguous chunks of `data` (interpreted
+/// as rows of width `row_width`), in parallel.
+///
+/// `f` must be `Sync` because it is shared across workers; per-chunk state
+/// should live inside the closure body.
+pub fn par_row_chunks_mut<T: Send>(
+    data: &mut [T],
+    row_width: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(row_width > 0, "row width must be positive");
+    assert_eq!(
+        data.len() % row_width,
+        0,
+        "buffer is not a whole number of rows"
+    );
+    let rows = data.len() / row_width;
+    let workers = worker_count(rows);
+    if workers <= 1 || rows <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut start_row = 0usize;
+        let f = &f;
+        while !rest.is_empty() {
+            let take = (rows_per * row_width).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let row = start_row;
+            scope.spawn(move || f(row, chunk));
+            start_row += take / row_width;
+        }
+    });
+}
+
+/// Maps `f` over the index range `0..n` in parallel and collects results in
+/// order. Used for per-row reductions (e.g. row-max vectors).
+pub fn par_map_rows<R: Send + Default + Clone>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let workers = worker_count(n);
+    let mut out = vec![R::default(); n];
+    if workers <= 1 || n <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return out;
+    }
+    let per = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        let mut start = 0usize;
+        let f = &f;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = start;
+            scope.spawn(move || {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = f(base + offset);
+                }
+            });
+            start += take;
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_is_at_least_one() {
+        assert!(worker_count(0) >= 1);
+        assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn par_row_chunks_covers_every_row_once() {
+        let rows = 1000;
+        let width = 4;
+        let mut data = vec![0u32; rows * width];
+        par_row_chunks_mut(&mut data, width, |start_row, chunk| {
+            for (local, row) in chunk.chunks_exact_mut(width).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (start_row + local) as u32 + 1;
+                }
+            }
+        });
+        for (r, row) in data.chunks_exact(width).enumerate() {
+            assert!(
+                row.iter().all(|&v| v == r as u32 + 1),
+                "row {r} wrong: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_row_chunks_handles_empty() {
+        let mut data: Vec<f32> = vec![];
+        par_row_chunks_mut(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn par_row_chunks_rejects_ragged_buffer() {
+        let mut data = vec![0.0f32; 7];
+        par_row_chunks_mut(&mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn par_map_rows_matches_serial() {
+        let got = par_map_rows(997, |i| i * i);
+        let want: Vec<usize> = (0..997).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_map_rows_empty() {
+        let got: Vec<usize> = par_map_rows(0, |i| i);
+        assert!(got.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Selection and ranking primitives: argmax, top-k, argsort, dense ranks.
+//!
+//! These back the matching algorithms directly: Greedy needs per-row argmax,
+//! CSLS needs per-row top-k means, RInf needs full per-row rankings, and
+//! Gale–Shapley needs sorted preference lists.
+
+/// Index of the maximum value in `row` (first occurrence wins). Returns
+/// `None` for an empty row. NaN values never win.
+pub fn argmax(row: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in row.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Returns the indices of the `k` largest values in `row`, in descending
+/// value order. If `k >= row.len()` the full descending argsort is returned.
+///
+/// Uses `select_nth_unstable` for O(n + k lg k) rather than sorting the full
+/// row — CSLS calls this for every entity with small k.
+pub fn top_k_desc(row: &[f32], k: usize) -> Vec<usize> {
+    let n = row.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return argsort_desc(row);
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx.sort_unstable_by(|&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+/// Mean of the `k` largest values in `row` (0.0 for an empty row/k = 0).
+pub fn top_k_mean(row: &[f32], k: usize) -> f32 {
+    let idx = top_k_desc(row, k);
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| row[i]).sum::<f32>() / idx.len() as f32
+}
+
+/// Full argsort of `row` in descending order. Ties keep index order
+/// (stable), making results deterministic.
+pub fn argsort_desc(row: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    idx.sort_by(|&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+/// Converts a score row into dense ranks: the largest value gets rank 0,
+/// the second largest rank 1, etc. (Ties are broken by index, matching
+/// `argsort_desc`.) This is the ranking step of the RInf algorithm.
+pub fn rank_desc(row: &[f32]) -> Vec<u32> {
+    let order = argsort_desc(row);
+    let mut ranks = vec![0u32; row.len()];
+    for (rank, &i) in order.iter().enumerate() {
+        ranks[i] = rank as u32;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic_and_edge_cases() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[f32::NAN, 1.0]), Some(1));
+        assert_eq!(argmax(&[f32::NAN]), None);
+        // First occurrence wins on ties.
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn top_k_desc_returns_sorted_prefix() {
+        let row = [0.1, 0.9, 0.5, 0.7, 0.3];
+        assert_eq!(top_k_desc(&row, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_desc(&row, 99), vec![1, 3, 2, 4, 0]);
+        assert!(top_k_desc(&row, 0).is_empty());
+        assert!(top_k_desc(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn top_k_mean_matches_hand_value() {
+        let row = [0.1, 0.9, 0.5, 0.7, 0.3];
+        let m = top_k_mean(&row, 2);
+        assert!((m - 0.8).abs() < 1e-6);
+        assert_eq!(top_k_mean(&[], 2), 0.0);
+    }
+
+    #[test]
+    fn argsort_desc_is_stable_on_ties() {
+        let row = [1.0, 2.0, 2.0, 0.0];
+        assert_eq!(argsort_desc(&row), vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn rank_desc_inverts_argsort() {
+        let row = [0.2, 0.8, 0.5];
+        let ranks = rank_desc(&row);
+        assert_eq!(ranks, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn rank_desc_is_a_permutation_of_0_to_n() {
+        let row = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut ranks = rank_desc(&row);
+        ranks.sort_unstable();
+        let want: Vec<u32> = (0..row.len() as u32).collect();
+        assert_eq!(ranks, want);
+    }
+}

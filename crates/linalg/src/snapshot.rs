@@ -1,0 +1,103 @@
+//! Compact binary snapshots of matrices.
+//!
+//! Embedding matrices are the hand-off artifact between the representation
+//! learning stage and the matching stage (paper Figure 2). The snapshot
+//! format lets the experiment harness cache trained embeddings on disk and
+//! reload them without re-running the encoders.
+//!
+//! Layout (little-endian):
+//! `magic "EMTX" | u32 version | u64 rows | u64 cols | rows*cols * f32`.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"EMTX";
+const VERSION: u32 = 1;
+
+/// Serializes a matrix into the snapshot wire format.
+pub fn to_bytes(m: &Matrix) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 4 + 16 + m.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for &v in m.as_slice() {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decodes a snapshot produced by [`to_bytes`].
+pub fn from_bytes(mut buf: Bytes) -> Result<Matrix> {
+    if buf.remaining() < 24 {
+        return Err(LinalgError::CorruptSnapshot("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(LinalgError::CorruptSnapshot(format!("bad magic {magic:?}")));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(LinalgError::CorruptSnapshot(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let expected = rows
+        .checked_mul(cols)
+        .ok_or_else(|| LinalgError::CorruptSnapshot("shape overflow".into()))?;
+    if buf.remaining() != expected * 4 {
+        return Err(LinalgError::CorruptSnapshot(format!(
+            "payload length {} != {} elements",
+            buf.remaining() / 4,
+            expected
+        )));
+    }
+    let mut data = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        data.push(buf.get_f32_le());
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let m = Matrix::from_fn(7, 5, |r, c| (r as f32 * 1.5) - (c as f32 * 0.25));
+        let bytes = to_bytes(&m);
+        let back = from_bytes(bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn roundtrip_empty_matrix() {
+        let m = Matrix::zeros(0, 0);
+        assert_eq!(from_bytes(to_bytes(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = to_bytes(&Matrix::zeros(1, 1)).to_vec();
+        raw[0] = b'X';
+        assert!(from_bytes(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let raw = to_bytes(&Matrix::zeros(2, 2)).to_vec();
+        let cut = Bytes::from(raw[..raw.len() - 4].to_vec());
+        assert!(from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        assert!(from_bytes(Bytes::from_static(b"EMTX")).is_err());
+    }
+}

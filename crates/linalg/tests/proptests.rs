@@ -1,0 +1,129 @@
+//! Property-based tests of the linalg kernels.
+
+use entmatcher_linalg::ops::{col_sums, row_sums};
+use entmatcher_linalg::rank::{argsort_desc, rank_desc, top_k_desc, top_k_mean};
+use entmatcher_linalg::{dot, matmul_transposed, normalize_rows_l2, snapshot, Matrix};
+use proptest::prelude::*;
+
+fn matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
+    })
+}
+
+fn matrix_with_cols(max_rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows).prop_flat_map(move |r| {
+        proptest::collection::vec(-100.0f32..100.0, r * cols)
+            .prop_map(move |data| Matrix::from_vec(r, cols, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transpose_is_involutive(m in matrix(10, 10)) {
+        prop_assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_row_and_col_sums(m in matrix(10, 10)) {
+        let t = m.transposed();
+        let rows = row_sums(&m);
+        let cols = col_sums(&t);
+        for (a, b) in rows.iter().zip(cols.iter()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_transposed_agrees_with_dot(
+        (a, b) in (1usize..=6).prop_flat_map(|d| (matrix_with_cols(8, d), matrix_with_cols(8, d)))
+    ) {
+        let out = matmul_transposed(&a, &b).unwrap();
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let want = dot(a.row(i), b.row(j));
+                prop_assert!((out.get(i, j) - want).abs() < want.abs() * 1e-4 + 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_rows_have_unit_norm_or_zero(mut m in matrix(10, 8)) {
+        normalize_rows_l2(&mut m);
+        for (_, row) in m.iter_rows() {
+            let n = entmatcher_linalg::l2_norm(row);
+            prop_assert!(n < 1.0 + 1e-4);
+            prop_assert!(n > 1.0 - 1e-4 || n == 0.0);
+        }
+    }
+
+    #[test]
+    fn argsort_desc_is_sorted_permutation(m in matrix(1, 30)) {
+        let row = m.row(0);
+        let order = argsort_desc(row);
+        // Permutation of indices.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..row.len()).collect::<Vec<_>>());
+        // Descending values.
+        for w in order.windows(2) {
+            prop_assert!(row[w[0]] >= row[w[1]]);
+        }
+    }
+
+    #[test]
+    fn top_k_is_argsort_prefix(m in matrix(1, 25), k in 1usize..30) {
+        let row = m.row(0);
+        let top = top_k_desc(row, k);
+        let full = argsort_desc(row);
+        let expect: Vec<usize> = full.into_iter().take(k.min(row.len())).collect();
+        // Values must agree positionally (indices may differ under ties,
+        // but this strategy makes exact ties measure-zero).
+        prop_assert_eq!(top.len(), expect.len());
+        for (a, b) in top.iter().zip(expect.iter()) {
+            prop_assert!((row[*a] - row[*b]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn top_k_mean_bounded_by_extremes(m in matrix(1, 20), k in 1usize..25) {
+        let row = m.row(0);
+        let mean = top_k_mean(row, k);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let min = row.iter().copied().fold(f32::INFINITY, f32::min);
+        prop_assert!(mean <= max + 1e-4 && mean >= min - 1e-4);
+    }
+
+    #[test]
+    fn rank_desc_inverts_argsort(m in matrix(1, 20)) {
+        let row = m.row(0);
+        let order = argsort_desc(row);
+        let ranks = rank_desc(row);
+        for (rank, idx) in order.iter().enumerate() {
+            prop_assert_eq!(ranks[*idx] as usize, rank);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips(m in matrix(12, 12)) {
+        let bytes = snapshot::to_bytes(&m);
+        let back = snapshot::from_bytes(bytes).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn hcat_then_select_recovers_left_block(a in matrix(6, 5), b in matrix(6, 4)) {
+        // Make row counts match.
+        let rows = a.rows().min(b.rows());
+        let a = a.select_rows(&(0..rows).collect::<Vec<_>>()).unwrap();
+        let b = b.select_rows(&(0..rows).collect::<Vec<_>>()).unwrap();
+        let cat = a.hcat(&b).unwrap();
+        for r in 0..rows {
+            prop_assert_eq!(&cat.row(r)[..a.cols()], a.row(r));
+            prop_assert_eq!(&cat.row(r)[a.cols()..], b.row(r));
+        }
+    }
+}

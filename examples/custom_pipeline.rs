@@ -1,0 +1,93 @@
+//! Composing a custom matching pipeline — the "loosely-coupled design" of
+//! the EntMatcher architecture: pick any similarity metric, write your own
+//! score optimizer, and pair it with any matcher.
+//!
+//! Run with: `cargo run --example custom_pipeline --release`
+
+use entmatcher::linalg::Matrix;
+use entmatcher::prelude::*;
+
+/// A user-defined score optimizer: temperature-scaled row softmax. It
+/// plugs into the pipeline exactly like the built-in CSLS/RInf/Sinkhorn.
+struct RowSoftmax {
+    temperature: f32,
+}
+
+impl ScoreOptimizer for RowSoftmax {
+    fn name(&self) -> &'static str {
+        "row-softmax"
+    }
+
+    fn apply(&self, mut scores: Matrix) -> Matrix {
+        let cols = scores.cols();
+        if cols == 0 {
+            return scores;
+        }
+        let inv_tau = 1.0 / self.temperature;
+        for r in 0..scores.rows() {
+            let row = scores.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = ((*v - max) * inv_tau).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        scores
+    }
+
+    fn aux_bytes(&self, _n_s: usize, _n_t: usize) -> usize {
+        0 // in place
+    }
+}
+
+fn main() {
+    let spec = entmatcher::data::benchmarks::srprs("S-W", 0.03);
+    let pair = generate_pair(&spec);
+    let embeddings = GcnEncoder::default().encode(&pair);
+    let task = MatchTask::from_pair(&pair);
+    let (src, tgt) = task.candidate_embeddings(&embeddings);
+
+    // Three pipelines sharing the matcher but differing in the first two
+    // modules — including the custom optimizer above.
+    let pipelines = vec![
+        MatchPipeline::new(
+            SimilarityMetric::Cosine,
+            Box::new(entmatcher::core::NoOp),
+            Box::new(StableMarriage),
+        ),
+        MatchPipeline::new(
+            SimilarityMetric::Euclidean,
+            Box::new(Csls { k: 5 }),
+            Box::new(StableMarriage),
+        ),
+        MatchPipeline::new(
+            SimilarityMetric::Cosine,
+            Box::new(RowSoftmax { temperature: 0.1 }),
+            Box::new(StableMarriage),
+        ),
+    ];
+    for pipeline in pipelines {
+        let report = pipeline.execute(&src, &tgt, &MatchContext::default());
+        let links = task.matching_to_links(&report.matching);
+        let scores = evaluate_links(&links, &task.gold);
+        println!(
+            "{:<34} F1 = {:.3} ({} of {} matched)",
+            pipeline.describe(),
+            scores.f1,
+            report.matching.matched_count(),
+            report.matching.len(),
+        );
+    }
+
+    // The same composition API also drives single algorithms on hand-made
+    // score matrices — handy for debugging a matcher in isolation.
+    let toy = Matrix::from_vec(2, 2, vec![0.9, 0.8, 0.85, 0.1]).unwrap();
+    let matching = Hungarian.run(&toy, &MatchContext::default());
+    println!("Hungarian on a toy 2x2: {:?}", matching.assignment());
+}

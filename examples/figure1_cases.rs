@@ -1,0 +1,70 @@
+//! The paper's Figure 1, reproduced: three regimes of embedding matching.
+//!
+//! (a) Identical KGs + ideal embeddings — simple greedy (DInf) is perfect.
+//! (b) Heterogeneous KGs — even good embeddings diverge for equivalent
+//!     entities, greedy makes reciprocal mistakes, and the collective
+//!     1-to-1 constraint (Hungarian) restores correct pairs.
+//! (c) Weak representation learning — the embedding space turns irregular
+//!     and *every* matcher degrades; collective matching still helps most.
+//!
+//! Run with: `cargo run --example figure1_cases --release`
+
+use entmatcher::prelude::*;
+
+fn f1_of(pair: &KgPair, emb: &UnifiedEmbeddings, preset: AlgorithmPreset) -> f64 {
+    let task = MatchTask::from_pair(pair);
+    let (src, tgt) = task.candidate_embeddings(emb);
+    let r = preset.build().execute(&src, &tgt, &MatchContext::default());
+    evaluate_links(&task.matching_to_links(&r.matching), &task.gold).f1
+}
+
+fn main() {
+    let base = entmatcher::data::benchmarks::dbp15k("D-Z", 0.08);
+
+    // Case (a): isomorphic KGs ("in the most ideal case ... using the
+    // simple DInf algorithm would attain perfect results").
+    let ideal = PairSpec {
+        heterogeneity: 0.0,
+        id: "fig1a".into(),
+        ..base.clone()
+    };
+    let pair_a = generate_pair(&ideal);
+    let strong = RreaEncoder {
+        bootstrap_rounds: 2,
+        ..Default::default()
+    };
+    let emb_a = strong.encode(&pair_a);
+    println!("case (a) identical KGs, strong encoder:");
+    println!("    DInf F1 = {:.3}", f1_of(&pair_a, &emb_a, AlgorithmPreset::DInf));
+
+    // Case (b): heterogeneous KGs — the practical regime.
+    let hetero = PairSpec {
+        heterogeneity: 0.55,
+        id: "fig1b".into(),
+        ..base.clone()
+    };
+    let pair_b = generate_pair(&hetero);
+    let emb_b = strong.encode(&pair_b);
+    println!("\ncase (b) heterogeneous KGs, strong encoder:");
+    println!("    DInf F1 = {:.3}", f1_of(&pair_b, &emb_b, AlgorithmPreset::DInf));
+    println!(
+        "    Sink. F1 = {:.3}   <- the (implicit) 1-to-1 constraint restores pairs DInf loses",
+        f1_of(&pair_b, &emb_b, AlgorithmPreset::Sinkhorn)
+    );
+
+    // Case (c): the same heterogeneous KGs with a weak encoder — the
+    // "irregular embedding distribution" regime.
+    let weak = GcnEncoder {
+        layers: 1,
+        noise_scale: 0.5,
+        ..Default::default()
+    };
+    let emb_c = weak.encode(&pair_b);
+    println!("\ncase (c) heterogeneous KGs, weak encoder:");
+    println!("    DInf F1 = {:.3}", f1_of(&pair_b, &emb_c, AlgorithmPreset::DInf));
+    println!(
+        "    Sink. F1 = {:.3}   <- coordination still helps, but cannot recover\n\
+         \u{20}                       what the representation never captured",
+        f1_of(&pair_b, &emb_c, AlgorithmPreset::Sinkhorn)
+    );
+}

@@ -1,0 +1,50 @@
+//! Scalability (paper §4.4 and insight 4): as candidate sets grow, the
+//! accurate-but-heavy algorithms (full RInf, Sinkhorn, Hungarian) slow
+//! down sharply, while the RInf-wr / RInf-pb variants trade a little F1
+//! for large speedups.
+//!
+//! Run with: `cargo run --example large_scale --release`
+
+use entmatcher::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:<10} {:>8} {:>22} {:>22} {:>22}",
+        "size", "", "RInf", "RInf-wr", "RInf-pb"
+    );
+    for scale in [0.02f64, 0.04, 0.08] {
+        let spec = entmatcher::data::benchmarks::dwy100k("D-W", scale);
+        let pair = generate_pair(&spec);
+        let embeddings = GcnEncoder::default().encode(&pair);
+        let task = MatchTask::from_pair(&pair);
+        let (src, tgt) = task.candidate_embeddings(&embeddings);
+        let ctx = MatchContext::default();
+
+        let mut cells = Vec::new();
+        for preset in [
+            AlgorithmPreset::RInf,
+            AlgorithmPreset::RInfWr,
+            AlgorithmPreset::RInfPb,
+        ] {
+            let start = Instant::now();
+            let report = preset.build().execute(&src, &tgt, &ctx);
+            let elapsed = start.elapsed();
+            let links = task.matching_to_links(&report.matching);
+            let f1 = evaluate_links(&links, &task.gold).f1;
+            cells.push(format!("F1={f1:.3} t={:>6.2}s", elapsed.as_secs_f64()));
+        }
+        println!(
+            "{:<10} {:>8} {:>22} {:>22} {:>22}",
+            format!("{} cand.", src.rows()),
+            "",
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!(
+        "\nThe wr/pb variants keep most of full RInf's F1 at a fraction of the \
+         time — the trade-off the paper's Table 6 reports at 100k-entity scale."
+    );
+}

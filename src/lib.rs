@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! **entmatcher** — matching knowledge graphs in entity embedding spaces.
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`graph`] — KG data model (triples, adjacency, alignments, TSV I/O);
+//! * [`data`] — synthetic benchmark generators (DBP15K/SRPRS/DWY100K
+//!   analogues, unmatchable and non-1-to-1 variants);
+//! * [`embed`] — representation learning (GCN/RREA-style propagation
+//!   encoders, name embeddings, fusion);
+//! * [`core`] — the matching library itself: similarity metrics, score
+//!   optimizers (CSLS, RInf, Sinkhorn), matchers (Greedy, Hungarian,
+//!   Gale–Shapley, RL-style), composable via [`core::MatchPipeline`];
+//! * [`eval`] — metrics, analysis, and the experiment grid runner;
+//! * [`linalg`] — the dense matrix kernels underneath everything.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use entmatcher::prelude::*;
+//!
+//! // 1. A benchmark KG pair (tiny synthetic DBP15K analogue).
+//! let spec = entmatcher::data::benchmarks::dbp15k("D-Z", 0.01);
+//! let pair = entmatcher::data::generate_pair(&spec);
+//!
+//! // 2. Representation learning on the pair's seed links.
+//! let embeddings = RreaEncoder::default().encode(&pair);
+//!
+//! // 3. Matching in the embedding space with a named preset.
+//! let task = MatchTask::from_pair(&pair);
+//! let (src, tgt) = task.candidate_embeddings(&embeddings);
+//! let report = AlgorithmPreset::Csls.build().execute(&src, &tgt, &MatchContext::default());
+//!
+//! // 4. Evaluation against the gold test links.
+//! let links = task.matching_to_links(&report.matching);
+//! let scores = evaluate_links(&links, &task.gold);
+//! assert!(scores.f1 > 0.0);
+//! ```
+
+pub use entmatcher_core as core;
+pub use entmatcher_data as data;
+pub use entmatcher_embed as embed;
+pub use entmatcher_eval as eval;
+pub use entmatcher_graph as graph;
+pub use entmatcher_linalg as linalg;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use entmatcher_core::{
+        AlgorithmPreset, Csls, Greedy, Hungarian, MatchContext, MatchPipeline, Matcher, Matching,
+        RInf, RlMatcher, ScoreOptimizer, SimilarityMetric, Sinkhorn, StableMarriage,
+    };
+    pub use entmatcher_data::{generate_pair, PairSpec};
+    pub use entmatcher_embed::{Encoder, GcnEncoder, NameEncoder, RreaEncoder, UnifiedEmbeddings};
+    pub use entmatcher_eval::{evaluate_links, AlignmentScores, EncoderKind, MatchTask};
+    pub use entmatcher_graph::{AlignmentSet, EntityId, KgBuilder, KgPair, KnowledgeGraph, Link};
+    pub use entmatcher_linalg::Matrix;
+}

@@ -1,0 +1,113 @@
+//! Integration: persistence round-trips across crates — TSV benchmark
+//! dumps, embedding snapshots, and JSON experiment results.
+
+use entmatcher::graph::io::{load_pair_dir, save_pair_dir};
+use entmatcher::linalg::snapshot;
+use entmatcher::prelude::*;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("entmatcher-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn generated_pair_survives_tsv_roundtrip_with_identical_matching() {
+    let spec = entmatcher::data::benchmarks::srprs("S-W", 0.02);
+    let pair = generate_pair(&spec);
+    let dir = temp_dir("tsv");
+    save_pair_dir(&dir, &pair).unwrap();
+    let loaded = load_pair_dir(&dir, spec.seed).unwrap();
+
+    assert_eq!(loaded.source.num_entities(), pair.source.num_entities());
+    assert_eq!(loaded.source.num_triples(), pair.source.num_triples());
+    assert_eq!(loaded.gold.len(), pair.gold.len());
+
+    // Entity ids are reassigned on load (interning follows triple-file
+    // order), so compare symbol-level structure: the triple multiset and
+    // the gold links must be identical up to renaming.
+    let triple_symbols = |p: &KgPair| {
+        let mut v: Vec<(String, String, String)> = p
+            .source
+            .triples()
+            .iter()
+            .map(|t| {
+                (
+                    p.source.entity_name(t.subject).unwrap().to_owned(),
+                    p.source.relation_name(t.predicate).unwrap().to_owned(),
+                    p.source.entity_name(t.object).unwrap().to_owned(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(triple_symbols(&pair), triple_symbols(&loaded));
+    let link_symbols = |p: &KgPair| {
+        let mut v: Vec<(String, String)> = p
+            .gold
+            .iter()
+            .map(|l| {
+                (
+                    p.source.entity_name(l.source).unwrap().to_owned(),
+                    p.target.entity_name(l.target).unwrap().to_owned(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(link_symbols(&pair), link_symbols(&loaded));
+
+    // And the loaded pair must still support the full pipeline.
+    let emb = GcnEncoder::default().encode(&loaded);
+    let task = MatchTask::from_pair(&loaded);
+    let (s, t) = task.candidate_embeddings(&emb);
+    let r = AlgorithmPreset::DInf
+        .build()
+        .execute(&s, &t, &MatchContext::default());
+    let f1 = evaluate_links(&task.matching_to_links(&r.matching), &task.gold).f1;
+    assert!(
+        f1 > 0.05,
+        "loaded pair should still be matchable: F1 = {f1}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn embedding_snapshots_roundtrip_through_bytes() {
+    let spec = PairSpec {
+        classes: 80,
+        fillers_per_kg: 0,
+        latent_edges: 400,
+        relations: 8,
+        ..Default::default()
+    };
+    let pair = generate_pair(&spec);
+    let emb = RreaEncoder::default().encode(&pair);
+    let bytes = snapshot::to_bytes(&emb.source);
+    let restored = snapshot::from_bytes(bytes).unwrap();
+    assert_eq!(restored, emb.source);
+}
+
+#[test]
+fn pair_serializes_through_serde_json() {
+    let spec = PairSpec {
+        classes: 30,
+        fillers_per_kg: 5,
+        latent_edges: 120,
+        relations: 4,
+        ..Default::default()
+    };
+    let pair = generate_pair(&spec);
+    let json = serde_json::to_string(&pair).unwrap();
+    let mut back: KgPair = serde_json::from_str(&json).unwrap();
+    back.rehydrate();
+    assert_eq!(back.gold, pair.gold);
+    assert_eq!(back.source.num_triples(), pair.source.num_triples());
+    // Rehydration restores symbol lookups skipped by serde.
+    let name = pair.source.entity_name(EntityId(0)).unwrap();
+    assert_eq!(back.source.entity_id(name), Some(EntityId(0)));
+}

@@ -1,0 +1,143 @@
+//! End-to-end integration: dataset generation -> representation learning
+//! -> matching -> evaluation, across every algorithm preset.
+
+use entmatcher::prelude::*;
+
+fn small_pair() -> KgPair {
+    let spec = entmatcher::data::benchmarks::dbp15k("D-Z", 0.02);
+    generate_pair(&spec)
+}
+
+#[test]
+fn every_preset_runs_end_to_end_and_beats_chance() {
+    let pair = small_pair();
+    let emb = RreaEncoder::default().encode(&pair);
+    let task = MatchTask::from_pair(&pair);
+    let (src, tgt) = task.candidate_embeddings(&emb);
+    let ctx = task.context(&pair);
+    let chance = 1.0 / tgt.rows() as f64;
+    for preset in AlgorithmPreset::all() {
+        let report = preset.build().execute(&src, &tgt, &ctx);
+        let links = task.matching_to_links(&report.matching);
+        let scores = evaluate_links(&links, &task.gold);
+        assert!(
+            scores.f1 > 10.0 * chance,
+            "{} barely beats chance: {:.4} vs {:.4}",
+            preset.name(),
+            scores.f1,
+            chance
+        );
+        assert!(scores.f1 <= 1.0);
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let pair = small_pair();
+        let emb = GcnEncoder::default().encode(&pair);
+        let task = MatchTask::from_pair(&pair);
+        let (src, tgt) = task.candidate_embeddings(&emb);
+        let report = AlgorithmPreset::RInf
+            .build()
+            .execute(&src, &tgt, &MatchContext::default());
+        let links = task.matching_to_links(&report.matching);
+        evaluate_links(&links, &task.gold).f1
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn one_to_one_coverage_makes_precision_equal_recall() {
+    // Paper §4.3: on classic benchmarks every test source receives exactly
+    // one prediction, so P == R == F1 for the greedy family.
+    let pair = small_pair();
+    let emb = GcnEncoder::default().encode(&pair);
+    let task = MatchTask::from_pair(&pair);
+    let (src, tgt) = task.candidate_embeddings(&emb);
+    for preset in [
+        AlgorithmPreset::DInf,
+        AlgorithmPreset::Csls,
+        AlgorithmPreset::Sinkhorn,
+    ] {
+        let report = preset.build().execute(&src, &tgt, &MatchContext::default());
+        let links = task.matching_to_links(&report.matching);
+        let s = evaluate_links(&links, &task.gold);
+        assert!(
+            (s.precision - s.recall).abs() < 1e-12,
+            "{}: P {:.4} != R {:.4}",
+            preset.name(),
+            s.precision,
+            s.recall
+        );
+    }
+}
+
+#[test]
+fn hard_one_to_one_matchers_produce_injective_matchings() {
+    let pair = small_pair();
+    let emb = RreaEncoder::default().encode(&pair);
+    let task = MatchTask::from_pair(&pair);
+    let (src, tgt) = task.candidate_embeddings(&emb);
+    for preset in [AlgorithmPreset::Hungarian, AlgorithmPreset::StableMarriage] {
+        let report = preset.build().execute(&src, &tgt, &MatchContext::default());
+        assert!(
+            report.matching.is_injective(),
+            "{} violated 1-to-1",
+            preset.name()
+        );
+        assert_eq!(report.matching.matched_count(), src.rows().min(tgt.rows()));
+    }
+}
+
+#[test]
+fn better_encoders_give_better_matching() {
+    let pair = small_pair();
+    let task = MatchTask::from_pair(&pair);
+    let mut f1s = Vec::new();
+    for kind in [EncoderKind::Gcn, EncoderKind::Rrea] {
+        let emb = kind.encode(&pair);
+        let (src, tgt) = task.candidate_embeddings(&emb);
+        let report = AlgorithmPreset::DInf
+            .build()
+            .execute(&src, &tgt, &MatchContext::default());
+        let links = task.matching_to_links(&report.matching);
+        f1s.push(evaluate_links(&links, &task.gold).f1);
+    }
+    assert!(
+        f1s[1] > f1s[0],
+        "RREA ({:.3}) must beat GCN ({:.3})",
+        f1s[1],
+        f1s[0]
+    );
+}
+
+#[test]
+fn fused_embeddings_beat_both_components() {
+    // Table 5's headline: fusing names with structure lifts performance
+    // above either signal alone.
+    let pair = small_pair();
+    let task = MatchTask::from_pair(&pair);
+    let mut by_kind = std::collections::HashMap::new();
+    for kind in [
+        EncoderKind::Rrea,
+        EncoderKind::Name,
+        EncoderKind::name_rrea_default(),
+    ] {
+        let emb = kind.encode(&pair);
+        let (src, tgt) = task.candidate_embeddings(&emb);
+        let report = AlgorithmPreset::Csls
+            .build()
+            .execute(&src, &tgt, &MatchContext::default());
+        let links = task.matching_to_links(&report.matching);
+        by_kind.insert(kind.prefix(), evaluate_links(&links, &task.gold).f1);
+    }
+    assert!(
+        by_kind["NR-"] >= by_kind["R-"],
+        "fusion below structure: {by_kind:?}"
+    );
+    assert!(
+        by_kind["NR-"] >= by_kind["N-"] - 0.02,
+        "fusion far below names: {by_kind:?}"
+    );
+}

@@ -1,0 +1,169 @@
+//! Property-based tests over the core algorithms' invariants.
+
+use entmatcher::core::matching::stable::find_blocking_pair;
+use entmatcher::core::{Csls, RlMatcher};
+use entmatcher::core::{
+    Greedy, Hungarian, MatchContext, Matcher, RInf, ScoreOptimizer, Sinkhorn, StableMarriage,
+};
+use entmatcher::linalg::ops::{col_sums, row_sums};
+use entmatcher::linalg::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a random score matrix with values in [-1, 1] (cosine range).
+fn score_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1.0f32..1.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
+    })
+}
+
+/// Brute-force optimal assignment value for small instances.
+fn brute_force_max(scores: &Matrix) -> f32 {
+    fn rec(scores: &Matrix, row: usize, used: &mut Vec<bool>, depth_left: usize) -> f32 {
+        if row == scores.rows() {
+            return 0.0;
+        }
+        let mut best = if depth_left < scores.rows() - row {
+            f32::NEG_INFINITY
+        } else {
+            // Allowed to skip rows only when targets run short.
+            f32::NEG_INFINITY
+        };
+        // Option: leave this row unmatched (needed for rectangular cases).
+        best = best.max(rec(scores, row + 1, used, depth_left));
+        for j in 0..scores.cols() {
+            if used[j] {
+                continue;
+            }
+            used[j] = true;
+            let v = scores.get(row, j) + rec(scores, row + 1, used, depth_left.saturating_sub(1));
+            used[j] = false;
+            best = best.max(v);
+        }
+        best
+    }
+    rec(scores, 0, &mut vec![false; scores.cols()], scores.cols())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hungarian_output_is_injective_and_maximal_size(s in score_matrix(12, 12)) {
+        let m = Hungarian.run(&s, &MatchContext::default());
+        prop_assert!(m.is_injective());
+        prop_assert_eq!(m.matched_count(), s.rows().min(s.cols()));
+    }
+
+    #[test]
+    fn hungarian_is_optimal_on_small_instances(s in score_matrix(6, 6)) {
+        let m = Hungarian.run(&s, &MatchContext::default());
+        let got: f32 = m.pairs().map(|(i, j)| s.get(i, j)).sum();
+        let want = brute_force_max(&s);
+        // Hungarian must match the best achievable sum. (It always matches
+        // min(n_s, n_t) pairs; with scores >= -1 the optimal full matching
+        // can differ from the skip-allowing brute force, so compare against
+        // the no-worse-than bound with a tolerance.)
+        prop_assert!(got <= want + 1e-4);
+        // And for square all-positive instances they coincide exactly.
+        if s.rows() == s.cols() && s.as_slice().iter().all(|&v| v >= 0.0) {
+            prop_assert!((got - want).abs() < 1e-3, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn gale_shapley_produces_stable_injective_matchings(s in score_matrix(10, 10)) {
+        let m = StableMarriage.run(&s, &MatchContext::default());
+        prop_assert!(m.is_injective());
+        prop_assert_eq!(m.matched_count(), s.rows().min(s.cols()));
+        prop_assert!(find_blocking_pair(&s, &m).is_none(), "unstable matching produced");
+    }
+
+    #[test]
+    fn sinkhorn_columns_are_stochastic_and_squares_are_doubly(s in score_matrix(8, 8)) {
+        let square = s.rows() == s.cols();
+        let out = Sinkhorn { iterations: 50, temperature: 0.1 }.apply(s);
+        // The operation ends with a column normalization (Equation 3's
+        // outer Gamma_c), so column sums are exactly stochastic.
+        for c in col_sums(&out) {
+            prop_assert!((c - 1.0).abs() < 1e-3, "col sum {c}");
+        }
+        // On square inputs the iteration converges towards doubly
+        // stochastic; rectangular inputs cannot have unit row sums.
+        if square {
+            for r in row_sums(&out) {
+                prop_assert!((r - 1.0).abs() < 0.15, "row sum {r}");
+            }
+        } else {
+            for r in row_sums(&out) {
+                prop_assert!(r.is_finite() && r >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn csls_is_invariant_to_constant_shifts(s in score_matrix(8, 8), shift in -0.5f32..0.5) {
+        // CSLS(S + c) == CSLS(S): the correction subtracts the shift back.
+        let base = Csls { k: 3 }.apply(s.clone());
+        let mut shifted = s;
+        shifted.map_inplace(|v| v + shift);
+        let out = Csls { k: 3 }.apply(shifted);
+        for (a, b) in base.as_slice().iter().zip(out.as_slice().iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rinf_decisions_are_invariant_to_positive_affine_transforms(
+        s in score_matrix(8, 8),
+        scale in 0.1f32..5.0,
+        shift in -0.5f32..0.5,
+    ) {
+        // Rank-based reciprocal scores only depend on score order, which a
+        // positive affine map preserves.
+        let base = RInf::default().apply(s.clone());
+        let mut transformed = s;
+        transformed.map_inplace(|v| v * scale + shift);
+        let out = RInf::default().apply(transformed);
+        for (a, b) in base.as_slice().iter().zip(out.as_slice().iter()) {
+            prop_assert!((a - b).abs() < 1e-4, "rank scores diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn greedy_picks_are_row_maxima(s in score_matrix(10, 10)) {
+        let m = Greedy.run(&s, &MatchContext::default());
+        for (i, pick) in m.assignment().iter().enumerate() {
+            let pick = pick.expect("non-empty rows always match");
+            let row = s.row(i);
+            for &v in row {
+                prop_assert!(row[pick as usize] >= v);
+            }
+        }
+    }
+
+    #[test]
+    fn rl_matcher_is_deterministic_and_in_range(s in score_matrix(10, 10)) {
+        let a = RlMatcher::default().run(&s, &MatchContext::default());
+        let b = RlMatcher::default().run(&s, &MatchContext::default());
+        prop_assert_eq!(&a, &b);
+        for pick in a.assignment().iter().flatten() {
+            prop_assert!((*pick as usize) < s.cols());
+        }
+    }
+
+    #[test]
+    fn optimizers_preserve_matrix_shape(s in score_matrix(9, 7)) {
+        let shape = s.shape();
+        for opt in [
+            Box::new(Csls { k: 2 }) as Box<dyn ScoreOptimizer>,
+            Box::new(RInf::default()),
+            Box::new(RInf::without_ranking()),
+            Box::new(Sinkhorn { iterations: 5, temperature: 0.1 }),
+        ] {
+            let out = opt.apply(s.clone());
+            prop_assert_eq!(out.shape(), shape, "{} changed shape", opt.name());
+            prop_assert!(out.as_slice().iter().all(|v| v.is_finite()), "{} produced non-finite", opt.name());
+        }
+    }
+}

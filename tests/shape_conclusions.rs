@@ -1,0 +1,236 @@
+//! Shape-level reproduction checks: the qualitative conclusions of the
+//! paper's evaluation must hold on the synthetic benchmarks. These are the
+//! assertions the whole reproduction stands on (see `EXPERIMENTS.md`).
+
+use entmatcher::core::AlgorithmPreset;
+use entmatcher::data::benchmarks;
+use entmatcher::eval::{run_cell, EncoderKind};
+use entmatcher::prelude::*;
+use std::collections::HashMap;
+
+const SCALE: f64 = 0.1;
+
+fn f1_map(pair: &KgPair, kind: EncoderKind, pad: bool) -> HashMap<&'static str, f64> {
+    let emb = kind.encode(pair);
+    AlgorithmPreset::main_seven()
+        .into_iter()
+        .map(|p| {
+            (
+                p.name(),
+                run_cell(pair, kind.prefix(), &emb, p, pad).scores.f1,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn table4_shape_dinf_is_weakest_and_assignment_methods_lead() {
+    let pair = generate_pair(&benchmarks::dbp15k("D-Z", SCALE));
+    let f1 = f1_map(&pair, EncoderKind::Rrea, false);
+    // (2) DInf attains the worst performance.
+    for (name, &v) in &f1 {
+        if *name != "DInf" {
+            assert!(
+                v >= f1["DInf"],
+                "{name} ({v:.3}) below DInf ({:.3})",
+                f1["DInf"]
+            );
+        }
+    }
+    // (1) Hun. and Sink. attain much better results than DInf.
+    assert!(f1["Hun."] > f1["DInf"] + 0.02);
+    assert!(f1["Sink."] > f1["DInf"] + 0.02);
+    // Score-optimizer family sits between DInf and the leaders.
+    assert!(f1["CSLS"] > f1["DInf"]);
+    assert!(f1["RInf"] >= f1["CSLS"] - 0.015);
+}
+
+#[test]
+fn table4_shape_sparser_datasets_score_lower_and_narrow_the_gap() {
+    let dbp = generate_pair(&benchmarks::dbp15k("D-Z", SCALE));
+    let srp = generate_pair(&benchmarks::srprs("S-F", SCALE));
+    let f1_dbp = f1_map(&dbp, EncoderKind::Rrea, false);
+    let f1_srp = f1_map(&srp, EncoderKind::Rrea, false);
+    // Sparser data is harder across the board.
+    assert!(f1_srp["DInf"] < f1_dbp["DInf"]);
+    assert!(f1_srp["Hun."] < f1_dbp["Hun."]);
+    // Pattern 2: the leaders' relative improvement shrinks on SRPRS.
+    let imp_dbp = (f1_dbp["Sink."] - f1_dbp["DInf"]) / f1_dbp["DInf"];
+    let imp_srp = (f1_srp["Sink."] - f1_srp["DInf"]) / f1_srp["DInf"];
+    assert!(
+        imp_srp < imp_dbp + 0.05,
+        "Sink. improvement should not grow on sparse data: {imp_srp:.3} vs {imp_dbp:.3}"
+    );
+}
+
+#[test]
+fn table5_shape_names_are_a_strong_signal() {
+    let pair = generate_pair(&benchmarks::dbp15k("D-Z", SCALE));
+    let structure = f1_map(&pair, EncoderKind::Rrea, false);
+    let names = f1_map(&pair, EncoderKind::Name, false);
+    let fused = f1_map(&pair, EncoderKind::name_rrea_default(), false);
+    assert!(
+        names["DInf"] > structure["DInf"],
+        "names should beat structure on DBP15K"
+    );
+    // Fusion lifts the best algorithms above either single signal.
+    assert!(fused["Hun."] >= names["Hun."] - 0.01);
+    assert!(fused["Hun."] > structure["Hun."]);
+}
+
+#[test]
+fn table7_shape_unmatchables_hurt_everyone_and_dummied_hungarian_leads() {
+    let plus = generate_pair(&benchmarks::dbp15k_plus("D-Z", SCALE));
+    let base = generate_pair(&benchmarks::dbp15k("D-Z", SCALE));
+    let f1_plus = f1_map(&plus, EncoderKind::Rrea, true);
+    let f1_base = f1_map(&base, EncoderKind::Rrea, false);
+    // (1) every F1 drops once unmatchables join the candidate sets.
+    for (name, &v) in &f1_plus {
+        assert!(
+            v < f1_base[name],
+            "{name} did not drop: {} vs {}",
+            v,
+            f1_base[name]
+        );
+    }
+    // (2) Hun. (with dummy nodes) takes the lead; greedy methods pay
+    // precision for matching unmatchable sources.
+    for name in ["DInf", "CSLS", "Sink.", "RL"] {
+        assert!(
+            f1_plus["Hun."] > f1_plus[name],
+            "Hun. ({:.3}) should beat {name} ({:.3}) under unmatchables",
+            f1_plus["Hun."],
+            f1_plus[name]
+        );
+    }
+}
+
+#[test]
+fn table8_shape_non_1to1_collapses_scores_and_inverts_the_ranking() {
+    let pair = generate_pair(&benchmarks::fb_dbp_mul(SCALE));
+    assert!(!pair.gold.is_one_to_one());
+    let f1 = f1_map(&pair, EncoderKind::Rrea, false);
+    let one_to_one = generate_pair(&benchmarks::dbp15k("D-Z", SCALE));
+    let f1_base = f1_map(&one_to_one, EncoderKind::Rrea, false);
+    // Scores collapse versus the 1-to-1 setting.
+    assert!(f1["RInf"] < f1_base["RInf"]);
+    // The score-optimizer family takes the best F1 ...
+    let best = f1.values().cloned().fold(0.0f64, f64::max);
+    assert!(
+        f1["RInf"] >= best - 0.02 || f1["CSLS"] >= best - 0.02,
+        "CSLS/RInf should top the non-1-to-1 ranking: {f1:?}"
+    );
+    // ... while the hard 1-to-1 methods lose their Table 4 lead.
+    assert!(
+        f1["Hun."] <= f1["RInf"] + 0.01,
+        "Hun. should not lead: {f1:?}"
+    );
+    assert!(
+        f1["SMat"] < f1["CSLS"],
+        "SMat should fall behind CSLS: {f1:?}"
+    );
+}
+
+#[test]
+fn table8_shape_recall_penalty_of_the_one_to_one_constraint() {
+    // On non-1-to-1 gold, Hungarian cannot predict two sources onto one
+    // target: its recall must not exceed the greedy family's.
+    let pair = generate_pair(&benchmarks::fb_dbp_mul(SCALE));
+    let emb = EncoderKind::Rrea.encode(&pair);
+    let greedy = run_cell(&pair, "R-", &emb, AlgorithmPreset::Csls, false).scores;
+    let hun = run_cell(&pair, "R-", &emb, AlgorithmPreset::Hungarian, false).scores;
+    assert!(
+        hun.recall <= greedy.recall + 1e-9,
+        "1-to-1 constraint should cap recall: hun {:.3} vs greedy {:.3}",
+        hun.recall,
+        greedy.recall
+    );
+}
+
+#[test]
+fn figure6_shape_small_k_wins_under_one_to_one() {
+    let pair = generate_pair(&benchmarks::dbp15k("D-Z", SCALE));
+    let emb = EncoderKind::Rrea.encode(&pair);
+    let task = MatchTask::from_pair(&pair);
+    let (src, tgt) = task.candidate_embeddings(&emb);
+    let mut curve = Vec::new();
+    for k in [1usize, 10, 50] {
+        let p = MatchPipeline::new(
+            SimilarityMetric::Cosine,
+            Box::new(Csls { k }),
+            Box::new(Greedy),
+        );
+        let r = p.execute(&src, &tgt, &MatchContext::default());
+        curve.push(evaluate_links(&task.matching_to_links(&r.matching), &task.gold).f1);
+    }
+    assert!(
+        curve[0] >= curve[2],
+        "k=1 ({:.3}) should beat k=50 ({:.3})",
+        curve[0],
+        curve[2]
+    );
+}
+
+#[test]
+fn figure7_shape_sinkhorn_improves_with_iterations() {
+    let pair = generate_pair(&benchmarks::dbp15k("D-Z", SCALE));
+    let emb = EncoderKind::Gcn.encode(&pair);
+    let task = MatchTask::from_pair(&pair);
+    let (src, tgt) = task.candidate_embeddings(&emb);
+    let f1_at = |l: usize| {
+        let p = MatchPipeline::new(
+            SimilarityMetric::Cosine,
+            Box::new(Sinkhorn {
+                iterations: l,
+                ..Default::default()
+            }),
+            Box::new(Greedy),
+        );
+        let r = p.execute(&src, &tgt, &MatchContext::default());
+        evaluate_links(&task.matching_to_links(&r.matching), &task.gold).f1
+    };
+    let low = f1_at(0);
+    let high = f1_at(100);
+    assert!(
+        high >= low,
+        "more Sinkhorn iterations should not hurt: {low:.3} -> {high:.3}"
+    );
+}
+
+#[test]
+fn dl_em_baseline_collapses() {
+    // Paper §4.3: classifier-style EM fails on EA.
+    let pair = generate_pair(&benchmarks::dbp15k("D-Z", SCALE));
+    let emb = EncoderKind::Gcn.encode(&pair);
+    let task = MatchTask::from_pair(&pair);
+    let model = entmatcher::embed::mlp::train_pair_classifier(
+        &emb,
+        pair.train_links(),
+        &entmatcher::embed::mlp::MlpConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
+    let (src, tgt) = task.candidate_embeddings(&emb);
+    let assignment: Vec<Option<u32>> = (0..src.rows())
+        .map(|i| {
+            let mut best = (None, f32::NEG_INFINITY);
+            for j in 0..tgt.rows() {
+                let p = model.score(src.row(i), tgt.row(j));
+                if p > best.1 {
+                    best = (Some(j as u32), p);
+                }
+            }
+            best.0
+        })
+        .collect();
+    let links = task.matching_to_links(&Matching::new(assignment));
+    let dl = evaluate_links(&links, &task.gold).f1;
+    let dinf = run_cell(&pair, "G-", &emb, AlgorithmPreset::DInf, false)
+        .scores
+        .f1;
+    assert!(
+        dl < dinf * 0.7,
+        "DL-EM ({dl:.3}) should collapse next to DInf ({dinf:.3})"
+    );
+}
