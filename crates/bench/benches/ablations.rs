@@ -2,15 +2,13 @@
 //! the RInf ranking step, CSLS's k, dummy-node padding overhead, and the
 //! RREA encoder's bootstrapping rounds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use entmatcher_core::{Csls, MatchContext, RInf, ScoreOptimizer};
 use entmatcher_core::{Hungarian, Matcher};
 use entmatcher_data::{benchmarks, generate_pair};
 use entmatcher_embed::{Encoder, RreaEncoder};
 use entmatcher_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use entmatcher_support::bench::{black_box, Bench};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 use std::time::Duration;
 
 fn random_scores(n: usize, seed: u64) -> Matrix {
@@ -20,8 +18,8 @@ fn random_scores(n: usize, seed: u64) -> Matrix {
 
 /// RInf with vs. without the ranking conversion — the paper attributes
 /// RInf's extra cost (and extra accuracy) entirely to this step.
-fn bench_rinf_ranking_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_rinf_ranking");
+fn bench_rinf_ranking_ablation(b: &mut Bench) {
+    let mut group = b.group("ablation_rinf_ranking");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
@@ -30,54 +28,46 @@ fn bench_rinf_ranking_ablation(c: &mut Criterion) {
         ("with_ranking", RInf::default()),
         ("without_ranking", RInf::without_ranking()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |bencher, _| {
-            bencher.iter(|| black_box(opt.apply(scores.clone())));
-        });
+        group.bench(name, || black_box(opt.apply(scores.clone())));
     }
     group.finish();
 }
 
 /// CSLS cost as a function of k (top-k selection dominates).
-fn bench_csls_k_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_csls_k");
+fn bench_csls_k_ablation(b: &mut Bench) {
+    let mut group = b.group("ablation_csls_k");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
     let scores = random_scores(1024, 2);
     for &k in &[1usize, 10, 50, 200] {
         let opt = Csls { k };
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, _| {
-            bencher.iter(|| black_box(opt.apply(scores.clone())));
-        });
+        group.bench(k.to_string(), || black_box(opt.apply(scores.clone())));
     }
     group.finish();
 }
 
 /// Dummy-node padding overhead on a rectangular Hungarian instance.
-fn bench_dummy_padding_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_dummy_padding");
+fn bench_dummy_padding_ablation(b: &mut Bench) {
+    let mut group = b.group("ablation_dummy_padding");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
     let mut rng = StdRng::seed_from_u64(3);
     let rect = Matrix::from_fn(700, 500, |_, _| rng.gen::<f32>());
     let ctx = MatchContext::default();
-    group.bench_function("rectangular_native", |bencher| {
-        bencher.iter(|| black_box(Hungarian.run(&rect, &ctx)));
-    });
-    group.bench_function("padded_square", |bencher| {
-        bencher.iter(|| {
-            let padded = entmatcher_core::dummy::pad_with_dummies(&rect, 0.0);
-            black_box(Hungarian.run(&padded.scores, &ctx))
-        });
+    group.bench("rectangular_native", || black_box(Hungarian.run(&rect, &ctx)));
+    group.bench("padded_square", || {
+        let padded = entmatcher_core::dummy::pad_with_dummies(&rect, 0.0);
+        black_box(Hungarian.run(&padded.scores, &ctx))
     });
     group.finish();
 }
 
 /// RREA encoder cost vs bootstrap rounds (each round re-encodes and runs
 /// a full mutual-NN search).
-fn bench_rrea_bootstrap_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_rrea_bootstrap");
+fn bench_rrea_bootstrap_ablation(b: &mut Bench) {
+    let mut group = b.group("ablation_rrea_bootstrap");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
@@ -87,22 +77,15 @@ fn bench_rrea_bootstrap_ablation(c: &mut Criterion) {
             bootstrap_rounds: rounds,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(rounds),
-            &rounds,
-            |bencher, _| {
-                bencher.iter(|| black_box(encoder.encode(&pair)));
-            },
-        );
+        group.bench(rounds.to_string(), || black_box(encoder.encode(&pair)));
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_rinf_ranking_ablation,
-    bench_csls_k_ablation,
-    bench_dummy_padding_ablation,
-    bench_rrea_bootstrap_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_rinf_ranking_ablation(&mut b);
+    bench_csls_k_ablation(&mut b);
+    bench_dummy_padding_ablation(&mut b);
+    bench_rrea_bootstrap_ablation(&mut b);
+}

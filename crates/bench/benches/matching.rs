@@ -2,12 +2,10 @@
 //! sort-dominated O(n^2 lg n), the Hungarian algorithm's cubic growth, and
 //! the RL matcher's episode loop.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use entmatcher_core::{Greedy, Hungarian, MatchContext, Matcher, RlMatcher, StableMarriage};
 use entmatcher_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use entmatcher_support::bench::{black_box, Bench};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 use std::time::Duration;
 
 fn random_scores(n: usize, seed: u64) -> Matrix {
@@ -15,8 +13,8 @@ fn random_scores(n: usize, seed: u64) -> Matrix {
     Matrix::from_fn(n, n, |_, _| rng.gen::<f32>())
 }
 
-fn bench_matchers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matchers");
+fn bench_matchers(b: &mut Bench) {
+    let mut group = b.group("matchers");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
@@ -30,30 +28,29 @@ fn bench_matchers(c: &mut Criterion) {
             ("RL", Box::new(RlMatcher::default())),
         ];
         for (name, matcher) in matchers {
-            group.bench_with_input(BenchmarkId::new(name, n), &n, |bencher, _| {
-                bencher.iter(|| black_box(matcher.run(&scores, &ctx)));
-            });
+            group.bench(format!("{name}/{n}"), || black_box(matcher.run(&scores, &ctx)));
         }
     }
     group.finish();
 }
 
-fn bench_hungarian_scaling(c: &mut Criterion) {
+fn bench_hungarian_scaling(b: &mut Bench) {
     // Isolated cubic-growth curve for the assignment solver (the paper's
     // scalability concern in Table 6).
-    let mut group = c.benchmark_group("hungarian_scaling");
+    let mut group = b.group("hungarian_scaling");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
     let ctx = MatchContext::default();
     for &n in &[128usize, 256, 512, 1024] {
         let scores = random_scores(n, 11);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
-            bencher.iter(|| black_box(Hungarian.run(&scores, &ctx)));
-        });
+        group.bench(n.to_string(), || black_box(Hungarian.run(&scores, &ctx)));
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_matchers, bench_hungarian_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_matchers(&mut b);
+    bench_hungarian_scaling(&mut b);
+}

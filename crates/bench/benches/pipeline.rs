@@ -2,72 +2,57 @@
 //! generated benchmark slice (this is what the paper's per-table time
 //! columns measure — similarity + optimization + matching).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use entmatcher_core::AlgorithmPreset;
 use entmatcher_data::{benchmarks, generate_pair};
 use entmatcher_eval::{EncoderKind, MatchTask};
-use std::hint::black_box;
+use entmatcher_support::bench::{black_box, Bench};
 use std::time::Duration;
 
-fn bench_presets(c: &mut Criterion) {
+fn bench_presets(b: &mut Bench) {
     let pair = generate_pair(&benchmarks::dbp15k("D-Z", 0.05));
     let emb = EncoderKind::Rrea.encode(&pair);
     let task = MatchTask::from_pair(&pair);
     let (src, tgt) = task.candidate_embeddings(&emb);
     let ctx = task.context(&pair);
 
-    let mut group = c.benchmark_group("pipeline_presets_dbp15k");
+    let mut group = b.group("pipeline_presets_dbp15k");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
     for preset in AlgorithmPreset::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(preset.name()),
-            &preset,
-            |bencher, preset| {
-                let pipeline = preset.build();
-                bencher.iter(|| black_box(pipeline.execute(&src, &tgt, &ctx)));
-            },
-        );
+        let pipeline = preset.build();
+        group.bench(preset.name(), || black_box(pipeline.execute(&src, &tgt, &ctx)));
     }
     group.finish();
 }
 
-fn bench_encoders(c: &mut Criterion) {
+fn bench_encoders(b: &mut Bench) {
     let pair = generate_pair(&benchmarks::dbp15k("D-Z", 0.05));
-    let mut group = c.benchmark_group("encoders_dbp15k");
+    let mut group = b.group("encoders_dbp15k");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
     for kind in [EncoderKind::Gcn, EncoderKind::Rrea, EncoderKind::Name] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{:?}", kind)),
-            &kind,
-            |bencher, kind| {
-                bencher.iter(|| black_box(kind.encode(&pair)));
-            },
-        );
+        group.bench(format!("{kind:?}"), || black_box(kind.encode(&pair)));
     }
     group.finish();
 }
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dataset_generation");
+fn bench_generation(b: &mut Bench) {
+    let mut group = b.group("dataset_generation");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
     for &scale in &[0.02f64, 0.05, 0.1] {
         let spec = benchmarks::dbp15k("D-Z", scale);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scale),
-            &spec,
-            |bencher, spec| {
-                bencher.iter(|| black_box(generate_pair(spec)));
-            },
-        );
+        group.bench(scale.to_string(), || black_box(generate_pair(&spec)));
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_presets, bench_encoders, bench_generation);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_presets(&mut b);
+    bench_encoders(&mut b);
+    bench_generation(&mut b);
+}

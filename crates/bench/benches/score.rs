@@ -3,12 +3,10 @@
 //! CSLS is near-free, full RInf pays for its ranking pass, the wr/pb
 //! variants recover most of the cost, and Sinkhorn's cost is linear in l.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use entmatcher_core::{Csls, RInf, RInfProgressive, ScoreOptimizer, Sinkhorn};
 use entmatcher_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use entmatcher_support::bench::{black_box, Bench};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 use std::time::Duration;
 
 fn random_scores(n: usize, seed: u64) -> Matrix {
@@ -16,8 +14,8 @@ fn random_scores(n: usize, seed: u64) -> Matrix {
     Matrix::from_fn(n, n, |_, _| rng.gen::<f32>() * 2.0 - 1.0)
 }
 
-fn bench_optimizers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("score_optimizers");
+fn bench_optimizers(b: &mut Bench) {
+    let mut group = b.group("score_optimizers");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
@@ -31,16 +29,14 @@ fn bench_optimizers(c: &mut Criterion) {
             ("Sinkhorn_l100", Box::new(Sinkhorn::default())),
         ];
         for (name, opt) in optimizers {
-            group.bench_with_input(BenchmarkId::new(name, n), &n, |bencher, _| {
-                bencher.iter(|| black_box(opt.apply(scores.clone())));
-            });
+            group.bench(format!("{name}/{n}"), || black_box(opt.apply(scores.clone())));
         }
     }
     group.finish();
 }
 
-fn bench_sinkhorn_iterations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sinkhorn_l_scaling");
+fn bench_sinkhorn_iterations(b: &mut Bench) {
+    let mut group = b.group("sinkhorn_l_scaling");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
@@ -50,12 +46,13 @@ fn bench_sinkhorn_iterations(c: &mut Criterion) {
             iterations: l,
             ..Default::default()
         };
-        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |bencher, _| {
-            bencher.iter(|| black_box(opt.apply(scores.clone())));
-        });
+        group.bench(l.to_string(), || black_box(opt.apply(scores.clone())));
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_optimizers, bench_sinkhorn_iterations);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_optimizers(&mut b);
+    bench_sinkhorn_iterations(&mut b);
+}

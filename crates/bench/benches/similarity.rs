@@ -1,12 +1,10 @@
 //! Microbenchmarks of the pairwise-score kernels (the first stage of every
 //! matching algorithm; paper §2.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use entmatcher_core::{similarity_matrix, SimilarityMetric};
 use entmatcher_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use entmatcher_support::bench::{black_box, Bench};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 use std::time::Duration;
 
 fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
@@ -14,8 +12,8 @@ fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
     Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() - 0.5)
 }
 
-fn bench_similarity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("similarity_matrix");
+fn bench_similarity(b: &mut Bench) {
+    let mut group = b.group("similarity_matrix");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_secs(1));
@@ -27,13 +25,15 @@ fn bench_similarity(c: &mut Criterion) {
             SimilarityMetric::Euclidean,
             SimilarityMetric::Manhattan,
         ] {
-            group.bench_with_input(BenchmarkId::new(metric.name(), n), &n, |bencher, _| {
-                bencher.iter(|| black_box(similarity_matrix(&a, &b, metric)));
+            group.bench(format!("{}/{n}", metric.name()), || {
+                black_box(similarity_matrix(&a, &b, metric))
             });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_similarity);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_args();
+    bench_similarity(&mut b);
+}

@@ -18,9 +18,10 @@ use entmatcher_eval::ranking::ranking_report;
 use entmatcher_eval::report::{fmt3, fmt_gb, TableBuilder};
 use entmatcher_eval::{evaluate_links, EncoderKind, MatchTask};
 use entmatcher_graph::Link;
-use serde_json::json;
+use entmatcher_support::json;
+use entmatcher_support::json::Json;
 
-fn report(id: &str, tables: &[TableBuilder], json: serde_json::Value) -> Report {
+fn report(id: &str, tables: &[TableBuilder], json: Json) -> Report {
     Report {
         id: id.to_owned(),
         text: tables
@@ -51,7 +52,7 @@ pub fn appd(cfg: &Config, wb: &mut Workbench) -> Report {
         .execute(&src, &tgt, &ctx)
         .matching;
     let mut tables = Vec::new();
-    let mut blocks = serde_json::Map::new();
+    let mut blocks = json::Map::new();
     for better in [AlgorithmPreset::RInf, AlgorithmPreset::Hungarian] {
         let improved = better.build().execute(&src, &tgt, &ctx).matching;
         let cases =
@@ -80,11 +81,11 @@ pub fn appd(cfg: &Config, wb: &mut Workbench) -> Report {
         }
         blocks.insert(
             better.name().to_owned(),
-            serde_json::to_value(&cases).expect("cases serialize"),
+            json::to_value(&cases),
         );
         tables.push(t);
     }
-    report("appd", &tables, serde_json::Value::Object(blocks))
+    report("appd", &tables, Json::Obj(blocks))
 }
 
 /// Future direction 5 — multi-assignment matching on the non-1-to-1
@@ -467,7 +468,7 @@ pub fn ext_block(cfg: &Config, wb: &mut Workbench) -> Report {
         &["Config", "CandRatio", "F1", "T(s)", "DenseDInfF1"],
     );
     let mut rows_json = Vec::new();
-    for (bits, tables) in [(8usize, 2usize), (10, 4), (12, 6)] {
+    for (bits, tables) in [(8usize, 2usize), (10, 4), (12, 10)] {
         let blocker = LshBlocker {
             bits,
             tables,

@@ -11,9 +11,10 @@ use entmatcher_data::benchmarks;
 use entmatcher_eval::report::{fmt3, fmt_gb, fmt_secs, TableBuilder};
 use entmatcher_eval::{evaluate_links, EncoderKind, MatchTask};
 use entmatcher_linalg::Matrix;
-use serde_json::json;
+use entmatcher_support::json;
+use entmatcher_support::json::Json;
 
-fn report(id: &str, tables: &[TableBuilder], json: serde_json::Value) -> Report {
+fn report(id: &str, tables: &[TableBuilder], json: Json) -> Report {
     Report {
         id: id.to_owned(),
         text: tables

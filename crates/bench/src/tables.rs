@@ -8,7 +8,8 @@ use entmatcher_eval::experiment::improvement_over_baseline;
 use entmatcher_eval::report::{fmt3, fmt_gb, fmt_secs, TableBuilder};
 use entmatcher_eval::{CellResult, EncoderKind, ExperimentGrid};
 use entmatcher_graph::DatasetStats;
-use serde_json::json;
+use entmatcher_support::json;
+use entmatcher_support::json::Json;
 
 /// A rendered experiment artifact: human-readable text plus a JSON dump.
 #[derive(Debug, Clone)]
@@ -20,11 +21,11 @@ pub struct Report {
     /// Markdown rendering (collected into the experiment report).
     pub markdown: String,
     /// Raw measured values.
-    pub json: serde_json::Value,
+    pub json: Json,
 }
 
 impl Report {
-    fn from_tables(id: &str, tables: &[TableBuilder], json: serde_json::Value) -> Self {
+    fn from_tables(id: &str, tables: &[TableBuilder], json: Json) -> Self {
         Report {
             id: id.to_owned(),
             text: tables
@@ -112,7 +113,7 @@ pub fn table3(cfg: &Config, wb: &mut Workbench) -> Report {
             stats.one_to_one_links.to_string(),
             stats.multi_links.to_string(),
         ]);
-        stats_json.push(serde_json::to_value(&stats).expect("stats serialize"));
+        stats_json.push(json::to_value(&stats));
     }
     Report::from_tables("table3", &[t], json!({ "stats": stats_json }))
 }
@@ -146,7 +147,7 @@ fn f1_block(
     dataset_names: &[&str],
     results: &[Vec<CellResult>],
     paper_block: Option<&[Vec<f64>]>,
-) -> (TableBuilder, serde_json::Value) {
+) -> (TableBuilder, Json) {
     let presets_n = results[0].len();
     let mut headers: Vec<String> = vec!["Algo".into()];
     for d in dataset_names {
@@ -196,7 +197,7 @@ pub fn table4(cfg: &Config, wb: &mut Workbench) -> Report {
     let dbp_names = ["D-Z", "D-J", "D-F"];
     let srp_names = ["S-F", "S-D", "S-W", "S-Y"];
     let mut tables = Vec::new();
-    let mut blocks = serde_json::Map::new();
+    let mut blocks = json::Map::new();
     let groups: [F1Group; 4] = [
         (
             "R-DBP",
@@ -238,7 +239,7 @@ pub fn table4(cfg: &Config, wb: &mut Workbench) -> Report {
         tables.push(t);
         blocks.insert(name.to_owned(), j);
     }
-    Report::from_tables("table4", &tables, serde_json::Value::Object(blocks))
+    Report::from_tables("table4", &tables, Json::Obj(blocks))
 }
 
 /// Table 5 — F1 with auxiliary name information (N-) and fused name +
@@ -253,7 +254,7 @@ pub fn table5(cfg: &Config, wb: &mut Workbench) -> Report {
     let dbp_names = ["D-Z", "D-J", "D-F"];
     let srp_names = ["S-F", "S-D"];
     let mut tables = Vec::new();
-    let mut blocks = serde_json::Map::new();
+    let mut blocks = json::Map::new();
     let groups: [F1Group; 4] = [
         (
             "N-DBP",
@@ -295,7 +296,7 @@ pub fn table5(cfg: &Config, wb: &mut Workbench) -> Report {
         tables.push(t);
         blocks.insert(name.to_owned(), j);
     }
-    Report::from_tables("table5", &tables, serde_json::Value::Object(blocks))
+    Report::from_tables("table5", &tables, Json::Obj(blocks))
 }
 
 /// Table 6 — DWY100K with GCN embeddings: F1, average time, and a memory
@@ -389,7 +390,7 @@ pub fn table7(cfg: &Config, wb: &mut Workbench) -> Report {
     let presets = AlgorithmPreset::main_seven();
     let specs = benchmarks::BenchmarkSuite::dbp15k_plus(cfg.scale);
     let mut tables = Vec::new();
-    let mut blocks = serde_json::Map::new();
+    let mut blocks = json::Map::new();
     for (label, kind, paper_block) in [
         ("GCN", EncoderKind::Gcn, &paper::table7::GCN),
         ("RREA", EncoderKind::Rrea, &paper::table7::RREA),
@@ -424,7 +425,7 @@ pub fn table7(cfg: &Config, wb: &mut Workbench) -> Report {
         tables.push(t);
         blocks.insert(label.to_owned(), json!({ "rows": rows_json }));
     }
-    Report::from_tables("table7", &tables, serde_json::Value::Object(blocks))
+    Report::from_tables("table7", &tables, Json::Obj(blocks))
 }
 
 /// Table 8 — the non-1-to-1 benchmark FB_DBP_MUL: precision, recall, F1.
@@ -432,7 +433,7 @@ pub fn table8(cfg: &Config, wb: &mut Workbench) -> Report {
     let presets = AlgorithmPreset::main_seven();
     let spec = benchmarks::fb_dbp_mul(cfg.scale);
     let mut tables = Vec::new();
-    let mut blocks = serde_json::Map::new();
+    let mut blocks = json::Map::new();
     for (label, kind, paper_block) in [
         ("GCN", EncoderKind::Gcn, &paper::table8::GCN),
         ("RREA", EncoderKind::Rrea, &paper::table8::RREA),
@@ -464,7 +465,7 @@ pub fn table8(cfg: &Config, wb: &mut Workbench) -> Report {
         tables.push(t);
         blocks.insert(label.to_owned(), json!({ "rows": rows_json }));
     }
-    Report::from_tables("table8", &tables, serde_json::Value::Object(blocks))
+    Report::from_tables("table8", &tables, Json::Obj(blocks))
 }
 
 /// One encoder-block descriptor used by the Table 4/5 drivers.

@@ -99,8 +99,7 @@ fn cmd_generate(args: &ParsedArgs) -> Result<String, CliError> {
     let pair = entmatcher_data::generate_pair(&spec);
     save_pair_dir(out, &pair)?;
     // Persist the spec so encode/match can re-derive the same splits.
-    let spec_json =
-        serde_json::to_string_pretty(&spec).map_err(|e| CliError::Failed(e.to_string()))?;
+    let spec_json = entmatcher_support::json::to_string_pretty(&spec);
     std::fs::write(out.join("spec.json"), spec_json)?;
     let stats = pair.stats();
     Ok(format!(
@@ -115,7 +114,7 @@ fn cmd_generate(args: &ParsedArgs) -> Result<String, CliError> {
 /// so splits match the generation run.
 fn load_data(dir: &Path) -> Result<KgPair, CliError> {
     let seed = match std::fs::read_to_string(dir.join("spec.json")) {
-        Ok(text) => serde_json::from_str::<entmatcher_data::PairSpec>(&text)
+        Ok(text) => entmatcher_support::json::from_str::<entmatcher_data::PairSpec>(&text)
             .map(|s| s.seed)
             .unwrap_or(0),
         Err(_) => 0,
@@ -202,7 +201,7 @@ fn cmd_encode(args: &ParsedArgs) -> Result<String, CliError> {
 fn load_embeddings(dir: &Path) -> Result<UnifiedEmbeddings, CliError> {
     let read = |name: &str| -> Result<entmatcher_linalg::Matrix, CliError> {
         let bytes = std::fs::read(dir.join(name))?;
-        snapshot::from_bytes(bytes::Bytes::from(bytes))
+        snapshot::from_bytes(&bytes)
             .map_err(|e| CliError::Failed(format!("{name}: {e}")))
     };
     let emb = UnifiedEmbeddings {

@@ -146,8 +146,7 @@ impl LshBlocker {
 mod tests {
     use super::*;
     use entmatcher_linalg::normalize_rows_l2;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 
     /// Clustered embeddings: both sides share class centroids plus small
     /// per-side noise, mimicking unified EA embeddings.

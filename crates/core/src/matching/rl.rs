@@ -18,8 +18,7 @@ use super::{MatchContext, Matcher, Matching};
 use entmatcher_linalg::parallel::par_map_rows;
 use entmatcher_linalg::rank::top_k_desc;
 use entmatcher_linalg::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 use std::collections::HashSet;
 
 /// Sequence-decision matcher with coherence and exclusiveness rewards.

@@ -7,10 +7,10 @@
 
 use entmatcher_linalg::parallel::par_row_chunks_mut;
 use entmatcher_linalg::{matmul_transposed, normalize_rows_l2, Matrix};
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_enum;
 
 /// Similarity metric between embedding rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SimilarityMetric {
     /// Cosine similarity — the paper's mainstream choice (§4.2).
     Cosine,
@@ -19,6 +19,8 @@ pub enum SimilarityMetric {
     /// Negated Manhattan (L1) distance.
     Manhattan,
 }
+
+impl_json_enum!(SimilarityMetric { Cosine, Euclidean, Manhattan });
 
 impl SimilarityMetric {
     /// Short name used in reports.
@@ -87,6 +89,19 @@ mod tests {
 
     fn approx(a: f32, b: f32) -> bool {
         (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn metric_roundtrips_through_json() {
+        for m in [
+            SimilarityMetric::Cosine,
+            SimilarityMetric::Euclidean,
+            SimilarityMetric::Manhattan,
+        ] {
+            let text = entmatcher_support::json::to_string(&m);
+            let back: SimilarityMetric = entmatcher_support::json::from_str(&text).unwrap();
+            assert_eq!(back, m);
+        }
     }
 
     #[test]

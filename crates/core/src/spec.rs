@@ -6,10 +6,10 @@ use crate::matching::{
 use crate::pipeline::MatchPipeline;
 use crate::score::{csls::Csls, rinf::RInf, rinf::RInfProgressive, sinkhorn::Sinkhorn, NoOp};
 use crate::similarity::SimilarityMetric;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::{impl_json_enum, impl_json_struct};
 
 /// Whether an algorithm exploits the 1-to-1 constraint (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OneToOne {
     /// No constraint (greedy family).
     No,
@@ -19,8 +19,10 @@ pub enum OneToOne {
     Yes,
 }
 
+impl_json_enum!(OneToOne { No, Partial, Yes });
+
 /// Direction of the matching process (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Only source-to-target decisions.
     Unidirectional,
@@ -30,8 +32,14 @@ pub enum Direction {
     Bidirectional,
 }
 
+impl_json_enum!(Direction {
+    Unidirectional,
+    PartiallyBidirectional,
+    Bidirectional
+});
+
 /// One row of the paper's Table 2: the static properties of an algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AlgorithmSpec {
     /// Canonical name (e.g. `"Sink."`).
     pub name: &'static str,
@@ -49,9 +57,21 @@ pub struct AlgorithmSpec {
     pub space_complexity: &'static str,
 }
 
+// `&'static str` fields cannot be decoded from owned JSON text, so the
+// Table 2 row is encode-only.
+impl_json_struct!(to_only AlgorithmSpec {
+    name,
+    pairwise,
+    matching,
+    one_to_one,
+    direction,
+    time_complexity,
+    space_complexity
+});
+
 /// The named algorithms of the study: the seven main strategies of
 /// Table 2 plus the RInf scalability variants of Table 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmPreset {
     /// Similarity + Greedy (the ubiquitous baseline).
     DInf,
@@ -72,6 +92,18 @@ pub enum AlgorithmPreset {
     /// Similarity + RL-style sequence decisions.
     Rl,
 }
+
+impl_json_enum!(AlgorithmPreset {
+    DInf,
+    Csls,
+    RInf,
+    RInfWr,
+    RInfPb,
+    Sinkhorn,
+    Hungarian,
+    StableMarriage,
+    Rl
+});
 
 impl AlgorithmPreset {
     /// The seven main algorithms, in the paper's table order.
@@ -285,6 +317,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn enums_roundtrip_through_json() {
+        for p in AlgorithmPreset::all() {
+            let text = entmatcher_support::json::to_string(&p);
+            let back: AlgorithmPreset = entmatcher_support::json::from_str(&text).unwrap();
+            assert_eq!(back, p);
+        }
+        for o in [OneToOne::No, OneToOne::Partial, OneToOne::Yes] {
+            let back: OneToOne =
+                entmatcher_support::json::from_str(&entmatcher_support::json::to_string(&o))
+                    .unwrap();
+            assert_eq!(back, o);
+        }
+        for d in [
+            Direction::Unidirectional,
+            Direction::PartiallyBidirectional,
+            Direction::Bidirectional,
+        ] {
+            let back: Direction =
+                entmatcher_support::json::from_str(&entmatcher_support::json::to_string(&d))
+                    .unwrap();
+            assert_eq!(back, d);
+        }
+    }
+
+    #[test]
+    fn algorithm_spec_encodes_table2_row() {
+        let v = entmatcher_support::json::to_value(&AlgorithmPreset::Sinkhorn.spec());
+        assert_eq!(v["name"].as_str(), Some("Sink."));
+        assert_eq!(v["one_to_one"].as_str(), Some("Partial"));
+        assert_eq!(v["direction"].as_str(), Some("PartiallyBidirectional"));
+        assert_eq!(v["time_complexity"].as_str(), Some("O(l n^2)"));
     }
 
     #[test]

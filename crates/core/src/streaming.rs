@@ -173,8 +173,7 @@ mod tests {
     use crate::matching::{MatchContext, Matcher};
     use crate::score::csls::Csls;
     use crate::score::ScoreOptimizer;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 
     fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -3,8 +3,7 @@
 
 use crate::spec::{DegreeModel, PairSpec};
 use crate::zipf::WeightedSampler;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 use std::collections::HashSet;
 
 /// One latent structural edge between equivalence classes, labelled with a

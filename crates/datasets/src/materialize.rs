@@ -8,9 +8,7 @@ use crate::spec::PairSpec;
 use entmatcher_graph::{
     AlignmentSet, EntityId, KgBuilder, KgPair, KnowledgeGraph, Link, RelationId, Triple,
 };
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use entmatcher_support::rng::{Rng, SeedableRng, SliceRandom, StdRng};
 
 /// How many source/target copies a class materializes to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

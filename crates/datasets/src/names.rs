@@ -7,7 +7,7 @@
 //! then perturb it per KG with a noise knob: 0 reproduces mono-lingual
 //! pairs (S-W, S-Y), higher values model transliteration noise (D-Z).
 
-use rand::Rng;
+use entmatcher_support::rng::Rng;
 
 const SYLLABLES: &[&str] = &[
     "ka", "ri", "to", "na", "shi", "mo", "lu", "ber", "gen", "dor", "vel", "mar", "tin", "os",
@@ -100,8 +100,7 @@ pub fn local_name(uri: &str) -> &str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use entmatcher_support::rng::{SeedableRng, StdRng};
 
     #[test]
     fn class_name_is_deterministic_and_varies() {

@@ -1,9 +1,10 @@
 //! Generator specification for one synthetic benchmark KG pair.
 
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
+use entmatcher_support::json::{FromJson, Json, JsonError, Map, ToJson};
 
 /// Degree model of the latent graph.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DegreeModel {
     /// All classes equally likely as edge endpoints (dense, DBP15K-like
     /// after DBpedia's popularity-biased crawl).
@@ -17,11 +18,42 @@ pub enum DegreeModel {
     },
 }
 
+// Externally-tagged encoding: `"Uniform"` for the unit variant,
+// `{"PowerLaw":{"exponent":x}}` for the struct variant.
+impl ToJson for DegreeModel {
+    fn to_json(&self) -> Json {
+        match self {
+            DegreeModel::Uniform => Json::Str("Uniform".to_owned()),
+            DegreeModel::PowerLaw { exponent } => {
+                let mut inner = Map::new();
+                inner.insert("exponent", *exponent);
+                let mut outer = Map::new();
+                outer.insert("PowerLaw", Json::Obj(inner));
+                Json::Obj(outer)
+            }
+        }
+    }
+}
+
+impl FromJson for DegreeModel {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        if v.as_str() == Some("Uniform") {
+            return Ok(DegreeModel::Uniform);
+        }
+        if let Some(inner) = v.get("PowerLaw") {
+            return Ok(DegreeModel::PowerLaw {
+                exponent: inner.field("exponent")?,
+            });
+        }
+        Err(JsonError::new(format!("unknown DegreeModel: {v}")))
+    }
+}
+
 /// Full specification of a synthetic KG pair.
 ///
 /// The defaults produce a small, fast, DBP15K-flavoured pair; benchmark
 /// presets in [`crate::benchmarks`] override fields to match Table 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PairSpec {
     /// Benchmark id, e.g. `"D-Z"`.
     pub id: String,
@@ -63,6 +95,22 @@ pub struct PairSpec {
     /// Master RNG seed; every derived randomness is a function of it.
     pub seed: u64,
 }
+
+impl_json_struct!(PairSpec {
+    id,
+    classes,
+    fillers_per_kg,
+    unmatchable_per_kg,
+    unmatchable_targets,
+    relations,
+    latent_edges,
+    degree,
+    heterogeneity,
+    name_noise,
+    multi_frac,
+    copy_edge_keep,
+    seed
+});
 
 impl Default for PairSpec {
     fn default() -> Self {

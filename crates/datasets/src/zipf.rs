@@ -1,7 +1,7 @@
 //! Weighted discrete sampling with optional Zipf weights.
 
 use crate::spec::DegreeModel;
-use rand::Rng;
+use entmatcher_support::rng::Rng;
 
 /// A discrete distribution over `0..n` sampled by binary search over a
 /// cumulative weight table. O(n) build, O(lg n) per sample.
@@ -87,8 +87,7 @@ impl WeightedSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use entmatcher_support::rng::{SeedableRng, StdRng};
 
     #[test]
     fn uniform_sampler_covers_support() {

@@ -1,48 +1,47 @@
-//! Property-based tests of the benchmark generator's invariants.
+//! Property-based tests of the benchmark generator's invariants, on the
+//! in-tree `entmatcher_support::prop` harness.
 
 use entmatcher_data::{generate_pair, DegreeModel, PairSpec};
-use proptest::prelude::*;
+use entmatcher_support::prop::{check, Config, Gen};
+use entmatcher_support::rng::Rng;
+use entmatcher_support::{prop_assert, prop_assert_eq};
 
-fn spec_strategy() -> impl Strategy<Value = PairSpec> {
-    (
-        20usize..120, // classes
-        0usize..30,   // fillers
-        0usize..20,   // unmatchables
-        2usize..12,   // relations
-        0.0f64..0.9,  // heterogeneity
-        0.0f64..0.9,  // name noise
-        prop_oneof![Just(0.0f64), 0.3f64..0.9],
-        any::<bool>(), // power law?
-        0u64..500,     // seed
-    )
-        .prop_map(
-            |(classes, fillers, unmatch, relations, h, noise, multi, power, seed)| PairSpec {
-                id: "prop".into(),
-                classes,
-                fillers_per_kg: fillers,
-                unmatchable_per_kg: unmatch,
-                unmatchable_targets: None,
-                relations,
-                latent_edges: classes * 4,
-                degree: if power {
-                    DegreeModel::PowerLaw { exponent: 1.0 }
-                } else {
-                    DegreeModel::Uniform
-                },
-                heterogeneity: h,
-                name_noise: noise,
-                multi_frac: multi,
-                copy_edge_keep: 0.65,
-                seed,
-            },
-        )
+fn cfg() -> Config {
+    Config::with_cases(24)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn gen_spec(g: &mut Gen) -> PairSpec {
+    let classes = 20 + g.len_in(0, 99); // 20..120, size-scaled
+    let multi = if g.gen_bool(0.5) {
+        0.0
+    } else {
+        g.gen_range(0.3f64..0.9)
+    };
+    PairSpec {
+        id: "prop".into(),
+        classes,
+        fillers_per_kg: g.gen_range(0..30usize),
+        unmatchable_per_kg: g.gen_range(0..20usize),
+        unmatchable_targets: None,
+        relations: g.gen_range(2..12usize),
+        latent_edges: classes * 4,
+        degree: if g.gen_bool(0.5) {
+            DegreeModel::PowerLaw { exponent: 1.0 }
+        } else {
+            DegreeModel::Uniform
+        },
+        heterogeneity: g.gen_range(0.0f64..0.9),
+        name_noise: g.gen_range(0.0f64..0.9),
+        multi_frac: multi,
+        copy_edge_keep: 0.65,
+        seed: g.gen_range(0..500u64),
+    }
+}
 
-    #[test]
-    fn generated_pairs_are_internally_consistent(spec in spec_strategy()) {
+#[test]
+fn generated_pairs_are_internally_consistent() {
+    check("generated_pairs_are_internally_consistent", cfg(), |g| {
+        let spec = gen_spec(g);
         let pair = generate_pair(&spec);
         // Entity counts: class copies + unmatchables + fillers.
         prop_assert!(pair.source.num_entities() >= spec.classes);
@@ -53,8 +52,7 @@ proptest! {
             prop_assert!((l.target.index()) < pair.target.num_entities());
         }
         // Splits partition gold.
-        let total =
-            pair.splits.train.len() + pair.splits.valid.len() + pair.splits.test.len();
+        let total = pair.splits.train.len() + pair.splits.valid.len() + pair.splits.test.len();
         prop_assert_eq!(total, pair.gold.len());
         // 1-to-1 iff no multi clusters requested (probabilistically multi
         // can still produce all-(1,1) draws, so only check the 0 case).
@@ -76,19 +74,27 @@ proptest! {
         for u in &pair.unmatchable_sources {
             prop_assert!(!gold_sources.contains(&u.0));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn generation_is_deterministic(spec in spec_strategy()) {
+#[test]
+fn generation_is_deterministic() {
+    check("generation_is_deterministic", cfg(), |g| {
+        let spec = gen_spec(g);
         let a = generate_pair(&spec);
         let b = generate_pair(&spec);
         prop_assert_eq!(a.gold, b.gold);
         prop_assert_eq!(a.source.num_triples(), b.source.num_triples());
         prop_assert_eq!(a.splits.test, b.splits.test);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn heterogeneity_zero_gives_mirrored_structure(seed in 0u64..200) {
+#[test]
+fn heterogeneity_zero_gives_mirrored_structure() {
+    check("heterogeneity_zero_gives_mirrored_structure", cfg(), |g| {
+        let seed = g.gen_range(0..200u64);
         let spec = PairSpec {
             classes: 60,
             fillers_per_kg: 0,
@@ -106,5 +112,17 @@ proptest! {
         let s = pair.source.num_triples() as i64;
         let t = pair.target.num_triples() as i64;
         prop_assert!((s - t).abs() <= 5, "triple counts diverged: {s} vs {t}");
-    }
+        Ok(())
+    });
+}
+
+#[test]
+fn spec_json_roundtrips() {
+    check("spec_json_roundtrips", cfg(), |g| {
+        let spec = gen_spec(g);
+        let text = entmatcher_support::json::to_string(&spec);
+        let back: PairSpec = entmatcher_support::json::from_str(&text).unwrap();
+        prop_assert_eq!(back, spec);
+        Ok(())
+    });
 }

@@ -3,8 +3,7 @@
 
 use entmatcher_graph::{AlignmentSet, KgPair};
 use entmatcher_linalg::{normalize_rows_l2, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 
 /// Fills a matrix with unit-normalized rows of Gaussian-ish noise
 /// (sum of uniforms; the exact shape is irrelevant after normalization).

@@ -10,8 +10,7 @@
 
 use crate::encoder::UnifiedEmbeddings;
 use entmatcher_graph::AlignmentSet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 
 /// Hyper-parameters for the pair classifier.
 #[derive(Debug, Clone)]

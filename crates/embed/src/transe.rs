@@ -16,8 +16,7 @@
 use crate::encoder::{Encoder, UnifiedEmbeddings};
 use entmatcher_graph::{EntityId, KgPair, KnowledgeGraph, Triple};
 use entmatcher_linalg::{normalize_rows_l2, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 use std::collections::HashMap;
 
 /// Translational encoder with margin-ranking SGD.

@@ -7,11 +7,11 @@ use crate::task::MatchTask;
 use entmatcher_core::Matching;
 use entmatcher_graph::KgPair;
 use entmatcher_linalg::Matrix;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 use std::collections::HashMap;
 
 /// One decision flip between a baseline and an improved algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CaseExample {
     /// Source entity symbol.
     pub source: String,
@@ -27,6 +27,15 @@ pub struct CaseExample {
     /// baseline's — the whole point of global coordination).
     pub improved_score: f32,
 }
+
+impl_json_struct!(CaseExample {
+    source,
+    gold_target,
+    baseline_pick,
+    baseline_score,
+    improved_pick,
+    improved_score
+});
 
 /// Finds up to `limit` cases where `baseline` errs and `improved` recovers
 /// the gold target, annotated with raw similarity scores.

@@ -3,10 +3,10 @@
 
 use entmatcher_embed::{fuse, Encoder, GcnEncoder, NameEncoder, RreaEncoder, UnifiedEmbeddings};
 use entmatcher_graph::KgPair;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::json::{FromJson, Json, JsonError, ToJson};
 
 /// The four embedding settings of Tables 4 and 5.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EncoderKind {
     /// GCN structural embeddings (the G- rows).
     Gcn,
@@ -17,6 +17,45 @@ pub enum EncoderKind {
     /// Name fused with RREA structure (the NR- rows); the field is the
     /// name-space weight in `[0, 1]`.
     NameRrea(f32),
+}
+
+// Externally-tagged encoding, matching the workspace JSON conventions:
+// unit variants are bare strings, `NameRrea` is `{"NameRrea": weight}`.
+impl ToJson for EncoderKind {
+    fn to_json(&self) -> Json {
+        match self {
+            EncoderKind::Gcn => Json::Str("Gcn".into()),
+            EncoderKind::Rrea => Json::Str("Rrea".into()),
+            EncoderKind::Name => Json::Str("Name".into()),
+            EncoderKind::NameRrea(w) => {
+                let mut m = entmatcher_support::json::Map::new();
+                m.insert("NameRrea", *w);
+                Json::Obj(m)
+            }
+        }
+    }
+}
+
+impl FromJson for EncoderKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => match s.as_str() {
+                "Gcn" => Ok(EncoderKind::Gcn),
+                "Rrea" => Ok(EncoderKind::Rrea),
+                "Name" => Ok(EncoderKind::Name),
+                other => Err(JsonError::new(format!(
+                    "unknown EncoderKind variant {other:?}"
+                ))),
+            },
+            Json::Obj(_) => {
+                let w = v.field("NameRrea")?;
+                Ok(EncoderKind::NameRrea(w))
+            }
+            other => Err(JsonError::new(format!(
+                "expected EncoderKind string or object, got {other}"
+            ))),
+        }
+    }
 }
 
 impl EncoderKind {

@@ -9,12 +9,13 @@ use entmatcher_core::spec::OneToOne;
 use entmatcher_core::AlgorithmPreset;
 use entmatcher_embed::UnifiedEmbeddings;
 use entmatcher_graph::KgPair;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::json::{FromJson, Json, JsonError, Map, ToJson};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Result of one experiment cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CellResult {
     /// Benchmark pair id (e.g. `"D-Z"`).
     pub dataset: String,
@@ -25,22 +26,35 @@ pub struct CellResult {
     /// Quality metrics against the test gold links.
     pub scores: AlignmentScores,
     /// Wall time of the matching pipeline (similarity + optimize + match).
-    #[serde(with = "duration_secs")]
     pub elapsed: Duration,
     /// Estimated peak auxiliary memory in bytes.
     pub peak_aux_bytes: usize,
 }
 
-mod duration_secs {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::time::Duration;
-
-    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        d.as_secs_f64().serialize(s)
+// `elapsed` travels as fractional seconds so reports stay readable.
+impl ToJson for CellResult {
+    fn to_json(&self) -> Json {
+        let mut m = Map::new();
+        m.insert("dataset", &self.dataset);
+        m.insert("encoder", &self.encoder);
+        m.insert("algorithm", &self.algorithm);
+        m.insert("scores", &self.scores);
+        m.insert("elapsed", self.elapsed.as_secs_f64());
+        m.insert("peak_aux_bytes", self.peak_aux_bytes);
+        Json::Obj(m)
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
-        Ok(Duration::from_secs_f64(f64::deserialize(d)?))
+impl FromJson for CellResult {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CellResult {
+            dataset: v.field("dataset")?,
+            encoder: v.field("encoder")?,
+            algorithm: v.field("algorithm")?,
+            scores: v.field("scores")?,
+            elapsed: Duration::from_secs_f64(v.field("elapsed")?),
+            peak_aux_bytes: v.field("peak_aux_bytes")?,
+        })
     }
 }
 
@@ -118,27 +132,25 @@ impl ExperimentGrid {
         presets: &[AlgorithmPreset],
     ) -> Vec<CellResult> {
         let results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; presets.len()]);
-        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-        for i in 0..presets.len() {
-            tx.send(i).expect("channel open");
-        }
-        drop(tx);
+        let next = AtomicUsize::new(0);
         let workers = self.workers.clamp(1, presets.len().max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                let rx = rx.clone();
+                let next = &next;
                 let results = &results;
-                scope.spawn(move || {
-                    while let Ok(i) = rx.recv() {
-                        let cell =
-                            run_cell(pair, encoder_prefix, emb, presets[i], self.pad_dummies);
-                        results.lock()[i] = Some(cell);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= presets.len() {
+                        break;
                     }
+                    let cell = run_cell(pair, encoder_prefix, emb, presets[i], self.pad_dummies);
+                    results.lock().expect("no panics hold the lock")[i] = Some(cell);
                 });
             }
         });
         results
             .into_inner()
+            .expect("no panics hold the lock")
             .into_iter()
             .map(|c| c.expect("every cell computed"))
             .collect()

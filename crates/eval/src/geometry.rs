@@ -11,10 +11,10 @@ use entmatcher_linalg::parallel::par_map_rows;
 use entmatcher_linalg::rank::top_k_desc;
 use entmatcher_linalg::stats::{mean, std_dev};
 use entmatcher_linalg::Matrix;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 
 /// Hubness/isolation summary of a score matrix.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeometryReport {
     /// Skewness of the k-occurrence distribution (third standardized
     /// moment). Near 0 for a well-spread space; strongly positive when a
@@ -28,6 +28,13 @@ pub struct GeometryReport {
     /// The k used.
     pub k: usize,
 }
+
+impl_json_struct!(GeometryReport {
+    k_occurrence_skewness,
+    max_hub_share,
+    isolation_rate,
+    k
+});
 
 /// Counts, for every target column, how many sources list it among their
 /// top-k — the *k-occurrence* vector `N_k`.

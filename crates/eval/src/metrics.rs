@@ -7,11 +7,11 @@
 //! three diverge under the unmatchable and non-1-to-1 settings (§5).
 
 use entmatcher_graph::{AlignmentSet, Link};
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 use std::collections::HashSet;
 
 /// Precision / recall / F1 triple.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlignmentScores {
     /// Fraction of predictions that are gold links.
     pub precision: f64,
@@ -26,6 +26,15 @@ pub struct AlignmentScores {
     /// Number of gold links.
     pub gold: usize,
 }
+
+impl_json_struct!(AlignmentScores {
+    precision,
+    recall,
+    f1,
+    predicted,
+    correct,
+    gold
+});
 
 impl AlignmentScores {
     /// Scores a prediction set against gold links. Duplicate predictions

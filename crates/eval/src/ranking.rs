@@ -9,11 +9,11 @@
 use crate::task::MatchTask;
 use entmatcher_graph::EntityId;
 use entmatcher_linalg::Matrix;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 use std::collections::HashMap;
 
 /// Hits@k / MRR bundle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankingReport {
     /// Fraction of test sources whose gold target ranks first.
     pub hits_at_1: f64,
@@ -26,6 +26,14 @@ pub struct RankingReport {
     /// Number of evaluated source entities.
     pub evaluated: usize,
 }
+
+impl_json_struct!(RankingReport {
+    hits_at_1,
+    hits_at_5,
+    hits_at_10,
+    mrr,
+    evaluated
+});
 
 /// Computes ranking metrics for a candidate score matrix against the
 /// task's gold links. For non-1-to-1 gold, the *best-ranked* gold target

@@ -10,10 +10,10 @@
 
 use crate::metrics::evaluate_links;
 use entmatcher_graph::{AlignmentSet, Link};
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 
 /// A bootstrap percentile interval around a point estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BootstrapInterval {
     /// The full-sample point estimate.
     pub point: f64,
@@ -24,6 +24,8 @@ pub struct BootstrapInterval {
     /// Number of bootstrap replicates.
     pub replicates: usize,
 }
+
+impl_json_struct!(BootstrapInterval { point, lo, hi, replicates });
 
 /// Deterministic SplitMix64 stream for resampling.
 struct Rng(u64);

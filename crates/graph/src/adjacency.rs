@@ -8,10 +8,10 @@
 
 use crate::ids::{EntityId, RelationId};
 use crate::triple::Triple;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 
 /// One directed half-edge in the CSR structure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     /// The entity on the other end.
     pub neighbor: EntityId,
@@ -22,11 +22,14 @@ pub struct Edge {
 }
 
 /// CSR adjacency: for each entity, a contiguous slice of [`Edge`]s.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Csr {
     offsets: Vec<u32>,
     edges: Vec<Edge>,
 }
+
+impl_json_struct!(Edge { neighbor, relation, outgoing });
+impl_json_struct!(Csr { offsets, edges });
 
 impl Csr {
     /// Builds the adjacency structure for `n` entities from `triples`.

@@ -10,12 +10,12 @@
 use crate::error::GraphError;
 use crate::ids::EntityId;
 use crate::Result;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 use std::collections::HashMap;
 
 /// One gold link: `source` (in the source KG) is equivalent to `target`
 /// (in the target KG).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Link {
     /// Entity in the source KG.
     pub source: EntityId,
@@ -30,14 +30,18 @@ impl Link {
     }
 }
 
+impl_json_struct!(Link { source, target });
+
 /// A set of gold alignment links.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AlignmentSet {
     links: Vec<Link>,
 }
 
+impl_json_struct!(AlignmentSet { links });
+
 /// Train / validation / test partition of an [`AlignmentSet`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AlignmentSplits {
     /// Seed links available to the representation-learning stage.
     pub train: AlignmentSet,
@@ -46,6 +50,8 @@ pub struct AlignmentSplits {
     /// Links the matching algorithms are evaluated on.
     pub test: AlignmentSet,
 }
+
+impl_json_struct!(AlignmentSplits { train, valid, test });
 
 impl AlignmentSet {
     /// Creates an alignment set from links.

@@ -6,7 +6,7 @@ use crate::ids::{EntityId, RelationId};
 use crate::interner::Interner;
 use crate::triple::Triple;
 use crate::Result;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 
 /// An immutable knowledge graph: interned symbols, a triple list, and a
 /// frozen CSR adjacency.
@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// Graphs are constructed through [`KgBuilder`]; freezing at build time means
 /// every downstream consumer (encoders, statistics, generators) can assume
 /// the adjacency is consistent with the triple list.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KnowledgeGraph {
     name: String,
     entities: Interner,
@@ -22,6 +22,14 @@ pub struct KnowledgeGraph {
     triples: Vec<Triple>,
     adjacency: Csr,
 }
+
+impl_json_struct!(KnowledgeGraph {
+    name,
+    entities,
+    relations,
+    triples,
+    adjacency
+});
 
 impl KnowledgeGraph {
     /// Human-readable graph name (e.g. `"DBpedia(en)"`).

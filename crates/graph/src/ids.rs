@@ -4,16 +4,42 @@
 //! `u32` index is ample and halves the footprint of triple and edge arrays
 //! relative to `usize`.
 
-use serde::{Deserialize, Serialize};
+use entmatcher_support::json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Identifier of an entity within one knowledge graph's interner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EntityId(pub u32);
 
 /// Identifier of a relation (predicate) within one knowledge graph's interner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RelationId(pub u32);
+
+// Ids serialize as bare numbers (newtype transparency), keeping link and
+// triple dumps compact.
+impl ToJson for EntityId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for EntityId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(EntityId)
+    }
+}
+
+impl ToJson for RelationId {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for RelationId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(RelationId)
+    }
+}
 
 impl EntityId {
     /// The id as a `usize` index.

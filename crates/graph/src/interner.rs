@@ -1,17 +1,36 @@
 //! String interner mapping symbols (entity URIs, relation names) to dense ids.
 
-use serde::{Deserialize, Serialize};
+use entmatcher_support::json::{FromJson, Json, JsonError, Map, ToJson};
 use std::collections::HashMap;
 
 /// Bidirectional map between strings and dense `u32` ids.
 ///
 /// Ids are assigned in first-seen order, so loading the same file twice
 /// yields identical ids — determinism the whole experiment harness relies on.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Interner {
     names: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, u32>,
+}
+
+// Only `names` is serialized; the lookup index would store every string a
+// second time, so deserialization leaves it empty and callers run
+// `rebuild_index` (the graph-level `rehydrate` does this for whole pairs).
+impl ToJson for Interner {
+    fn to_json(&self) -> Json {
+        let mut map = Map::new();
+        map.insert("names", &self.names);
+        Json::Obj(map)
+    }
+}
+
+impl FromJson for Interner {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Interner {
+            names: v.field("names")?,
+            index: HashMap::new(),
+        })
+    }
 }
 
 impl Interner {
@@ -60,7 +79,7 @@ impl Interner {
     }
 
     /// Rebuilds the lookup index after deserialization (the `HashMap` side
-    /// is skipped by serde to avoid storing every string twice).
+    /// is skipped by the encoder to avoid storing every string twice).
     pub fn rebuild_index(&mut self) {
         self.index = self
             .names
@@ -110,18 +129,17 @@ mod tests {
         let mut it = Interner::new();
         it.intern("a");
         it.intern("b");
-        let json = serde_json_roundtrip(&it);
+        let json = json_roundtrip(&it);
         assert_eq!(json.get("a"), Some(0));
         assert_eq!(json.get("b"), Some(1));
     }
 
-    fn serde_json_roundtrip(it: &Interner) -> Interner {
-        // serde_json is not a dependency of this crate; emulate the skip-field
-        // roundtrip by cloning names and rebuilding.
-        let mut out = Interner {
-            names: it.names.clone(),
-            index: HashMap::new(),
-        };
+    fn json_roundtrip(it: &Interner) -> Interner {
+        // A real JSON round trip: the index side is skipped by the
+        // serializer, so it must come back empty and be rebuilt.
+        let text = entmatcher_support::json::to_string(it);
+        let mut out: Interner = entmatcher_support::json::from_str(&text).unwrap();
+        assert!(out.index.is_empty(), "index must not be serialized");
         out.rebuild_index();
         out
     }

@@ -7,10 +7,10 @@
 //! character claims in the reproduction are checkable, not asserted.
 
 use crate::graph::KnowledgeGraph;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 
 /// Degree-distribution summary of one KG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DegreeProfile {
     /// Mean undirected degree.
     pub mean: f64,
@@ -26,6 +26,15 @@ pub struct DegreeProfile {
     /// Share of all half-edges held by the top 1% highest-degree entities.
     pub top1pct_edge_share: f64,
 }
+
+impl_json_struct!(DegreeProfile {
+    mean,
+    median,
+    max,
+    gini,
+    low_degree_share,
+    top1pct_edge_share
+});
 
 /// Computes the degree profile of a KG.
 pub fn degree_profile(kg: &KnowledgeGraph) -> DegreeProfile {

@@ -4,11 +4,11 @@
 use crate::alignment::{AlignmentSet, AlignmentSplits};
 use crate::graph::KnowledgeGraph;
 use crate::stats::DatasetStats;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 
 /// A source/target KG pair plus its gold alignment, pre-split into
 /// train / validation / test link sets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KgPair {
     /// Short benchmark id, e.g. `"D-Z"`.
     pub id: String,
@@ -23,12 +23,22 @@ pub struct KgPair {
     /// Source entities that exist only in the source KG (paper §5.1's
     /// unmatchable setting, DBP15K+). Empty on classic benchmarks. These
     /// entities join the test-time candidate set but have no gold link.
-    #[serde(default)]
+    /// (Missing in serialized form on classic benchmarks; the decoder
+    /// defaults absent collection fields to empty.)
     pub unmatchable_sources: Vec<crate::ids::EntityId>,
     /// Target-side unmatchable entities (see `unmatchable_sources`).
-    #[serde(default)]
     pub unmatchable_targets: Vec<crate::ids::EntityId>,
 }
+
+impl_json_struct!(KgPair {
+    id,
+    source,
+    target,
+    gold,
+    splits,
+    unmatchable_sources,
+    unmatchable_targets
+});
 
 impl KgPair {
     /// Assembles a pair, splitting `gold` with the paper's default 20/10/70

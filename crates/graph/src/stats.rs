@@ -1,11 +1,11 @@
 //! Dataset statistics in the shape of the paper's Table 3.
 
 use crate::pair::KgPair;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 
 /// Aggregate statistics of one benchmark KG pair: the paper's Table 3
 /// reports combined counts over both KGs of a pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetStats {
     /// Benchmark id, e.g. `"D-Z"`.
     pub id: String,
@@ -26,6 +26,17 @@ pub struct DatasetStats {
     /// triples over 38,960 entities gives 4.2).
     pub avg_degree: f64,
 }
+
+impl_json_struct!(DatasetStats {
+    id,
+    entities,
+    relations,
+    triples,
+    gold_links,
+    one_to_one_links,
+    multi_links,
+    avg_degree
+});
 
 impl DatasetStats {
     /// Computes statistics for a KG pair.

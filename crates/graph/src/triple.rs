@@ -1,10 +1,10 @@
 //! Relational triples `(subject, predicate, object)`.
 
 use crate::ids::{EntityId, RelationId};
-use serde::{Deserialize, Serialize};
+use entmatcher_support::impl_json_struct;
 
 /// A single relational fact: `subject --predicate--> object`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Triple {
     /// Subject (head) entity.
     pub subject: EntityId,
@@ -13,6 +13,8 @@ pub struct Triple {
     /// Object (tail) entity.
     pub object: EntityId,
 }
+
+impl_json_struct!(Triple { subject, predicate, object });
 
 impl Triple {
     /// Convenience constructor.

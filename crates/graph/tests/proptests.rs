@@ -1,38 +1,53 @@
-//! Property-based tests of the KG data model invariants.
+//! Property-based tests of the KG data model invariants, on the in-tree
+//! `entmatcher_support::prop` harness.
 
 use entmatcher_graph::{AlignmentSet, Csr, EntityId, KgBuilder, Link, RelationId, Triple};
-use proptest::prelude::*;
+use entmatcher_support::prop::{check, Config, Gen};
+use entmatcher_support::rng::Rng;
+use entmatcher_support::{prop_assert, prop_assert_eq};
 
-fn triples(n_entities: u32, max_len: usize) -> impl Strategy<Value = Vec<Triple>> {
-    proptest::collection::vec(
-        (0..n_entities, 0u32..5, 0..n_entities)
-            .prop_map(|(s, p, o)| Triple::new(EntityId(s), RelationId(p), EntityId(o))),
-        0..max_len,
-    )
+fn cfg() -> Config {
+    Config::with_cases(128)
 }
 
-fn links(max_id: u32, max_len: usize) -> impl Strategy<Value = Vec<Link>> {
-    proptest::collection::vec(
-        (0..max_id, 0..max_id).prop_map(|(s, t)| Link::new(EntityId(s), EntityId(t))),
-        1..max_len,
-    )
+fn gen_triples(g: &mut Gen, n_entities: u32, max_len: usize) -> Vec<Triple> {
+    let len = g.len_in(0, max_len);
+    (0..len)
+        .map(|_| {
+            Triple::new(
+                EntityId(g.gen_range(0..n_entities)),
+                RelationId(g.gen_range(0..5u32)),
+                EntityId(g.gen_range(0..n_entities)),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn gen_links(g: &mut Gen, max_id: u32, max_len: usize) -> Vec<Link> {
+    let len = g.len_in(1, max_len);
+    (0..len)
+        .map(|_| Link::new(EntityId(g.gen_range(0..max_id)), EntityId(g.gen_range(0..max_id))))
+        .collect()
+}
 
-    #[test]
-    fn csr_degree_sum_equals_half_edges(ts in triples(20, 60)) {
+#[test]
+fn csr_degree_sum_equals_half_edges() {
+    check("csr_degree_sum_equals_half_edges", cfg(), |g| {
+        let ts = gen_triples(g, 20, 60);
         let csr = Csr::build(20, &ts);
         let total: usize = csr.degrees().iter().sum();
         prop_assert_eq!(total, csr.num_edges());
         // Each non-loop triple contributes 2 half-edges, loops 1.
         let expected: usize = ts.iter().map(|t| if t.is_loop() { 1 } else { 2 }).sum();
         prop_assert_eq!(total, expected);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn csr_neighbors_are_symmetric(ts in triples(15, 40)) {
+#[test]
+fn csr_neighbors_are_symmetric() {
+    check("csr_neighbors_are_symmetric", cfg(), |g| {
+        let ts = gen_triples(g, 15, 40);
         let csr = Csr::build(15, &ts);
         for e in 0..15u32 {
             for edge in csr.neighbors(EntityId(e)) {
@@ -41,19 +56,23 @@ proptest! {
                 if edge.neighbor == EntityId(e) {
                     continue;
                 }
-                let back = csr
-                    .neighbors(edge.neighbor)
-                    .iter()
-                    .any(|b| b.neighbor == EntityId(e)
+                let back = csr.neighbors(edge.neighbor).iter().any(|b| {
+                    b.neighbor == EntityId(e)
                         && b.relation == edge.relation
-                        && b.outgoing != edge.outgoing);
+                        && b.outgoing != edge.outgoing
+                });
                 prop_assert!(back, "edge {e}->{:?} has no mirror", edge.neighbor);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn split_partitions_links_exactly(ls in links(100, 80), seed in 0u64..1000) {
+#[test]
+fn split_partitions_links_exactly() {
+    check("split_partitions_links_exactly", cfg(), |g| {
+        let ls = gen_links(g, 100, 80);
+        let seed = g.gen_range(0..1000u64);
         let set = AlignmentSet::new(ls.clone());
         let splits = set.split(0.2, 0.1, seed).unwrap();
         let total = splits.train.len() + splits.valid.len() + splits.test.len();
@@ -70,14 +89,23 @@ proptest! {
         got.sort_unstable();
         want.sort_unstable();
         prop_assert_eq!(got, want);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn cluster_preserving_split_has_integrity(ls in links(30, 60), seed in 0u64..1000) {
+#[test]
+fn cluster_preserving_split_has_integrity() {
+    check("cluster_preserving_split_has_integrity", cfg(), |g| {
+        let ls = gen_links(g, 30, 60);
+        let seed = g.gen_range(0..1000u64);
         let set = AlignmentSet::new(ls);
         let splits = set.split_cluster_preserving(0.5, 0.2, seed).unwrap();
         // No entity may appear (as source or target) in two splits.
-        let collect = |s: &AlignmentSet| -> (std::collections::HashSet<u32>, std::collections::HashSet<u32>) {
+        type Sets = (
+            std::collections::HashSet<u32>,
+            std::collections::HashSet<u32>,
+        );
+        let collect = |s: &AlignmentSet| -> Sets {
             (
                 s.iter().map(|l| l.source.0).collect(),
                 s.iter().map(|l| l.target.0).collect(),
@@ -86,21 +114,40 @@ proptest! {
         let (tr_s, tr_t) = collect(&splits.train);
         let (va_s, va_t) = collect(&splits.valid);
         let (te_s, te_t) = collect(&splits.test);
-        prop_assert!(tr_s.is_disjoint(&va_s) && tr_s.is_disjoint(&te_s) && va_s.is_disjoint(&te_s));
-        prop_assert!(tr_t.is_disjoint(&va_t) && tr_t.is_disjoint(&te_t) && va_t.is_disjoint(&te_t));
-    }
+        prop_assert!(
+            tr_s.is_disjoint(&va_s) && tr_s.is_disjoint(&te_s) && va_s.is_disjoint(&te_s)
+        );
+        prop_assert!(
+            tr_t.is_disjoint(&va_t) && tr_t.is_disjoint(&te_t) && va_t.is_disjoint(&te_t)
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn multiplicity_counts_are_a_partition(ls in links(40, 60)) {
+#[test]
+fn multiplicity_counts_are_a_partition() {
+    check("multiplicity_counts_are_a_partition", cfg(), |g| {
+        let ls = gen_links(g, 40, 60);
         let set = AlignmentSet::new(ls);
         let (one, multi) = set.link_multiplicity();
         prop_assert_eq!(one + multi, set.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn builder_roundtrips_symbols(names in proptest::collection::hash_set("[a-z]{1,8}", 1..20)) {
-        let mut b = KgBuilder::new("prop");
+#[test]
+fn builder_roundtrips_symbols() {
+    check("builder_roundtrips_symbols", cfg(), |g| {
+        // A set of 1..=19 distinct lowercase names of length 1..=8.
+        let want = g.len_in(1, 19);
+        let mut names = std::collections::HashSet::new();
+        while names.len() < want {
+            let len = g.gen_range(1..=8usize);
+            let name: String = (0..len).map(|_| g.gen_range(b'a'..=b'z') as char).collect();
+            names.insert(name);
+        }
         let names: Vec<String> = names.into_iter().collect();
+        let mut b = KgBuilder::new("prop");
         for n in &names {
             b.add_entity(n);
         }
@@ -110,5 +157,6 @@ proptest! {
             let id = kg.entity_id(n).unwrap();
             prop_assert_eq!(kg.entity_name(id), Some(n.as_str()));
         }
-    }
+        Ok(())
+    });
 }

@@ -2,18 +2,37 @@
 
 use crate::error::LinalgError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
+use entmatcher_support::json::{FromJson, Json, JsonError, Map, ToJson};
 
 /// A dense, row-major matrix of `f32` values.
 ///
 /// Row-major layout keeps each embedding / score row contiguous, which is
 /// what every kernel in this workspace iterates over. All indexing methods
 /// are bounds-checked; hot loops should obtain row slices once and iterate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl ToJson for Matrix {
+    fn to_json(&self) -> Json {
+        let mut map = Map::new();
+        map.insert("rows", self.rows);
+        map.insert("cols", self.cols);
+        map.insert("data", &self.data);
+        Json::Obj(map)
+    }
+}
+
+impl FromJson for Matrix {
+    fn from_json(v: &Json) -> std::result::Result<Self, JsonError> {
+        // Route through `from_vec` so a hand-edited document can't smuggle
+        // in a shape/buffer mismatch.
+        Matrix::from_vec(v.field("rows")?, v.field("cols")?, v.field("data")?)
+            .map_err(|e| JsonError::new(e.to_string()))
+    }
 }
 
 impl Matrix {

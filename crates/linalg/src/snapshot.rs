@@ -11,55 +11,74 @@
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::Result;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"EMTX";
 const VERSION: u32 = 1;
 
 /// Serializes a matrix into the snapshot wire format.
-pub fn to_bytes(m: &Matrix) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + 4 + 16 + m.len() * 4);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(m.rows() as u64);
-    buf.put_u64_le(m.cols() as u64);
+pub fn to_bytes(m: &Matrix) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + 4 + 16 + m.len() * 4);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+    buf.extend_from_slice(&(m.cols() as u64).to_le_bytes());
     for &v in m.as_slice() {
-        buf.put_f32_le(v);
+        buf.extend_from_slice(&v.to_le_bytes());
     }
-    buf.freeze()
+    buf
+}
+
+/// A little-endian cursor over the snapshot wire format.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        if self.buf.len() < N {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(N);
+        self.buf = rest;
+        Some(head.try_into().unwrap())
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 /// Decodes a snapshot produced by [`to_bytes`].
-pub fn from_bytes(mut buf: Bytes) -> Result<Matrix> {
-    if buf.remaining() < 24 {
+pub fn from_bytes(bytes: &[u8]) -> Result<Matrix> {
+    let mut r = Reader { buf: bytes };
+    if r.remaining() < 24 {
         return Err(LinalgError::CorruptSnapshot("truncated header".into()));
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
+    let magic: [u8; 4] = r.take().unwrap();
     if &magic != MAGIC {
         return Err(LinalgError::CorruptSnapshot(format!("bad magic {magic:?}")));
     }
-    let version = buf.get_u32_le();
+    let version = u32::from_le_bytes(r.take().unwrap());
     if version != VERSION {
         return Err(LinalgError::CorruptSnapshot(format!(
             "unsupported version {version}"
         )));
     }
-    let rows = buf.get_u64_le() as usize;
-    let cols = buf.get_u64_le() as usize;
+    let rows = u64::from_le_bytes(r.take().unwrap()) as usize;
+    let cols = u64::from_le_bytes(r.take().unwrap()) as usize;
     let expected = rows
         .checked_mul(cols)
         .ok_or_else(|| LinalgError::CorruptSnapshot("shape overflow".into()))?;
-    if buf.remaining() != expected * 4 {
+    if r.remaining() != expected * 4 {
         return Err(LinalgError::CorruptSnapshot(format!(
             "payload length {} != {} elements",
-            buf.remaining() / 4,
+            r.remaining() / 4,
             expected
         )));
     }
     let mut data = Vec::with_capacity(expected);
     for _ in 0..expected {
-        data.push(buf.get_f32_le());
+        data.push(f32::from_le_bytes(r.take().unwrap()));
     }
     Matrix::from_vec(rows, cols, data)
 }
@@ -72,32 +91,31 @@ mod tests {
     fn roundtrip_preserves_matrix() {
         let m = Matrix::from_fn(7, 5, |r, c| (r as f32 * 1.5) - (c as f32 * 0.25));
         let bytes = to_bytes(&m);
-        let back = from_bytes(bytes).unwrap();
+        let back = from_bytes(&bytes).unwrap();
         assert_eq!(back, m);
     }
 
     #[test]
     fn roundtrip_empty_matrix() {
         let m = Matrix::zeros(0, 0);
-        assert_eq!(from_bytes(to_bytes(&m)).unwrap(), m);
+        assert_eq!(from_bytes(&to_bytes(&m)).unwrap(), m);
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut raw = to_bytes(&Matrix::zeros(1, 1)).to_vec();
+        let mut raw = to_bytes(&Matrix::zeros(1, 1));
         raw[0] = b'X';
-        assert!(from_bytes(Bytes::from(raw)).is_err());
+        assert!(from_bytes(&raw).is_err());
     }
 
     #[test]
     fn rejects_truncated_payload() {
-        let raw = to_bytes(&Matrix::zeros(2, 2)).to_vec();
-        let cut = Bytes::from(raw[..raw.len() - 4].to_vec());
-        assert!(from_bytes(cut).is_err());
+        let raw = to_bytes(&Matrix::zeros(2, 2));
+        assert!(from_bytes(&raw[..raw.len() - 4]).is_err());
     }
 
     #[test]
     fn rejects_truncated_header() {
-        assert!(from_bytes(Bytes::from_static(b"EMTX")).is_err());
+        assert!(from_bytes(b"EMTX").is_err());
     }
 }

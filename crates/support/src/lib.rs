@@ -1,0 +1,24 @@
+//! Zero-dependency support library for the `entmatcher` workspace.
+//!
+//! Every crate in this workspace builds with **no network access** and no
+//! external crates. This crate supplies the four pieces of infrastructure
+//! that would otherwise come from crates.io:
+//!
+//! - [`rng`] — a seeded, deterministic xoshiro256\*\*-style PRNG with a
+//!   `rand`-shaped API (`StdRng`, `Rng`, `SeedableRng`, `SliceRandom`).
+//! - [`json`] — a minimal JSON value, writer, and parser plus the
+//!   [`json::ToJson`]/[`json::FromJson`] trait pair and the
+//!   [`impl_json_struct!`]/[`impl_json_enum!`] derive-replacement macros.
+//! - [`prop`] — a property-testing mini-harness with seeded generators,
+//!   configurable case counts, failure-seed reporting, and size-directed
+//!   input shrinking.
+//! - [`bench`] — a tiny wall-clock benchmark harness for `harness = false`
+//!   bench targets.
+//!
+//! The API shapes deliberately mirror the external crates they replace so
+//! that call sites migrate by swapping `use` lines, not rewriting bodies.
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;

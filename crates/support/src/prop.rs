@@ -1,0 +1,350 @@
+//! A property-testing mini-harness.
+//!
+//! Replaces `proptest` for this workspace: properties are plain functions
+//! from a seeded generator [`Gen`] to `Result<(), Failed>`, run by [`check`]
+//! over a configurable number of cases. Each case derives its own seed from
+//! the base seed, and the input *size* ramps up as cases progress — early
+//! cases exercise tiny inputs, later cases large ones.
+//!
+//! On failure the harness shrinks by re-running the failing case's seed at
+//! smaller sizes, then reports the smallest failing `(seed, size)` pair:
+//!
+//! ```text
+//! property 'transpose_involution' failed (case 17 of 128)
+//!   seed = 0x3a0c91d5b2e44f01, size = 6
+//!   assertion failed: ...
+//! reproduce with: ENTMATCHER_PROP_SEED=0x3a0c91d5b2e44f01 ENTMATCHER_PROP_SIZE=6 cargo test -q transpose_involution
+//! ```
+//!
+//! Setting those environment variables makes [`check`] run exactly that one
+//! case, deterministically. `ENTMATCHER_PROP_CASES` scales every suite's
+//! case count without recompiling.
+
+use crate::rng::{splitmix64, Rng, SeedableRng, StdRng};
+
+/// How a property run is configured.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Maximum size budget handed to [`Gen`]; structure sizes scale with it.
+    pub max_size: u32,
+    /// Base seed; per-case seeds derive from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_size: 100,
+            seed: 0xE27A_11E5_EED5_0C0D,
+        }
+    }
+}
+
+impl Config {
+    /// A config with `cases` cases (the `ProptestConfig::with_cases` shape).
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// A failed property: the assertion message to surface.
+#[derive(Debug, Clone)]
+pub struct Failed {
+    pub message: String,
+}
+
+impl Failed {
+    pub fn new(message: impl Into<String>) -> Self {
+        Failed {
+            message: message.into(),
+        }
+    }
+}
+
+/// The value source handed to properties: a seeded PRNG plus a size budget.
+///
+/// `Gen` implements [`Rng`], so properties draw raw values with the usual
+/// `gen`/`gen_range`/`gen_bool` calls; [`Gen::len_in`] is the size-aware
+/// draw for structure dimensions (vector lengths, matrix sides, node
+/// counts) — it is what makes shrinking effective, because re-running the
+/// same seed at a smaller size re-draws every dimension smaller.
+pub struct Gen {
+    rng: StdRng,
+    size: u32,
+}
+
+impl Gen {
+    /// A generator for one case: `seed` fixes the stream, `size` in
+    /// `1..=max_size` scales structural draws.
+    pub fn new(seed: u64, size: u32) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            size: size.max(1),
+        }
+    }
+
+    /// The current size budget.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// A structure dimension in `min..=max`, with the effective upper bound
+    /// scaled by the current size (but never below `min`).
+    pub fn len_in(&mut self, min: usize, max: usize) -> usize {
+        assert!(min <= max, "len_in: empty range");
+        let span = max - min;
+        let scaled = (span as u64 * self.size as u64).div_ceil(100) as usize;
+        let scaled = scaled.min(span);
+        min + self.rng.gen_range(0..=scaled)
+    }
+
+    /// A uniform element reference from a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose: empty slice");
+        let i = self.rng.gen_range(0..items.len());
+        &items[i]
+    }
+}
+
+impl Rng for Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be a u64 (decimal or 0x-hex), got '{raw}'"),
+    }
+}
+
+/// Per-case seed derivation: decorrelates cases while keeping each case
+/// reproducible from (base seed, case index) alone.
+fn case_seed(base: u64, case: u64) -> u64 {
+    let mut s = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+/// Runs `prop` over `cfg.cases` generated cases and panics with a
+/// reproduction line on the first (shrunk) failure.
+///
+/// Environment overrides:
+/// - `ENTMATCHER_PROP_SEED` (+ optional `ENTMATCHER_PROP_SIZE`): run exactly
+///   one case with that case-seed and size — the reproduction mode printed
+///   in failure reports.
+/// - `ENTMATCHER_PROP_CASES`: override the case count for every suite.
+pub fn check<F>(name: &str, cfg: Config, prop: F)
+where
+    F: Fn(&mut Gen) -> Result<(), Failed>,
+{
+    if let Some(seed) = env_u64("ENTMATCHER_PROP_SEED") {
+        let size = env_u64("ENTMATCHER_PROP_SIZE").unwrap_or(cfg.max_size as u64) as u32;
+        let mut g = Gen::new(seed, size);
+        if let Err(f) = prop(&mut g) {
+            panic!(
+                "property '{name}' failed under ENTMATCHER_PROP_SEED\n  \
+                 seed = {seed:#018x}, size = {size}\n  {}",
+                f.message
+            );
+        }
+        return;
+    }
+
+    let cases = env_u64("ENTMATCHER_PROP_CASES")
+        .map(|c| c as u32)
+        .unwrap_or(cfg.cases)
+        .max(1);
+
+    for case in 0..cases {
+        // Ramp the size budget across the run: case 0 is tiny, the last
+        // case uses the full budget.
+        let size = if cases == 1 {
+            cfg.max_size
+        } else {
+            1 + (cfg.max_size.saturating_sub(1)) * case / (cases - 1)
+        };
+        let seed = case_seed(cfg.seed, case as u64);
+        let mut g = Gen::new(seed, size);
+        let Err(failure) = prop(&mut g) else {
+            continue;
+        };
+
+        // Shrink: the same seed at smaller sizes regenerates structurally
+        // smaller inputs. Keep the smallest size that still fails.
+        let (mut best_size, mut best_msg) = (size, failure.message);
+        let mut candidate = size / 2;
+        while candidate >= 1 {
+            let mut g = Gen::new(seed, candidate);
+            match prop(&mut g) {
+                Err(f) => {
+                    best_size = candidate;
+                    best_msg = f.message;
+                    if candidate == 1 {
+                        break;
+                    }
+                    candidate /= 2;
+                }
+                Ok(()) => break,
+            }
+        }
+
+        panic!(
+            "property '{name}' failed (case {case} of {cases})\n  \
+             seed = {seed:#018x}, size = {best_size}\n  {best_msg}\n\
+             reproduce with: ENTMATCHER_PROP_SEED={seed:#x} ENTMATCHER_PROP_SIZE={best_size} cargo test -q {name}"
+        );
+    }
+}
+
+/// Asserts inside a property, returning [`Failed`] instead of panicking so
+/// the harness can shrink and report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::Failed::new(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::prop::Failed::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::prop::Failed::new(format!(
+                "assertion failed: {} == {}\n  left:  {:?}\n  right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::prop::Failed::new(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::prop::Failed::new(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check("always_true", Config::with_cases(10), |g| {
+            counter.set(counter.get() + 1);
+            let n = g.len_in(0, 50);
+            prop_assert!(n <= 50);
+            Ok(())
+        });
+        ran += counter.get();
+        assert_eq!(ran, 10);
+    }
+
+    #[test]
+    fn size_ramps_with_cases() {
+        let sizes = std::cell::RefCell::new(Vec::new());
+        check("record_sizes", Config::with_cases(20), |g| {
+            sizes.borrow_mut().push(g.size());
+            Ok(())
+        });
+        let sizes = sizes.into_inner();
+        assert_eq!(sizes.first(), Some(&1));
+        assert_eq!(sizes.last(), Some(&100));
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = std::panic::catch_unwind(|| {
+            check("fails_when_big", Config::with_cases(30), |g| {
+                let n = g.len_in(0, 80);
+                prop_assert!(n < 10, "n = {n} too big");
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("fails_when_big"), "message: {msg}");
+        assert!(msg.contains("ENTMATCHER_PROP_SEED="), "message: {msg}");
+        assert!(msg.contains("seed = 0x"), "message: {msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let collect = || {
+            let vals = std::cell::RefCell::new(Vec::new());
+            check("collect", Config::with_cases(8), |g| {
+                vals.borrow_mut().push(g.gen_range(0..1_000_000usize));
+                Ok(())
+            });
+            vals.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn len_in_respects_bounds_at_all_sizes() {
+        for size in [1, 3, 50, 100] {
+            let mut g = Gen::new(99, size);
+            for _ in 0..200 {
+                let n = g.len_in(2, 9);
+                assert!((2..=9).contains(&n), "size {size} gave {n}");
+            }
+        }
+        // Size 1 keeps structures near the minimum.
+        let mut g = Gen::new(7, 1);
+        for _ in 0..50 {
+            assert!(g.len_in(0, 100) <= 1);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Workspace verification: offline release build + the full test suite.
+#
+# `--offline` is the point, not an optimization: this workspace has a
+# zero-external-dependency policy (see DESIGN.md §5), so building must
+# never touch the network. If this script fails with a resolver error,
+# someone added an external dependency — remove it or port the needed
+# functionality into `crates/support`.
+#
+# ENTMATCHER_BENCH_QUICK=1 makes the `harness = false` bench binaries run
+# each benchmark body exactly once if a runner invokes them, keeping the
+# whole script fast while still exercising every bench target's code.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export ENTMATCHER_BENCH_QUICK=1
+
+cargo build --release --offline --workspace --benches
+cargo test -q --offline --workspace

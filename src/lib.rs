@@ -13,7 +13,9 @@
 //!   optimizers (CSLS, RInf, Sinkhorn), matchers (Greedy, Hungarian,
 //!   Gale–Shapley, RL-style), composable via [`core::MatchPipeline`];
 //! * [`eval`] — metrics, analysis, and the experiment grid runner;
-//! * [`linalg`] — the dense matrix kernels underneath everything.
+//! * [`linalg`] — the dense matrix kernels underneath everything;
+//! * [`support`] — the zero-dependency toolkit the workspace stands on:
+//!   seeded PRNG, JSON, property-testing and benchmark harnesses.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use entmatcher_embed as embed;
 pub use entmatcher_eval as eval;
 pub use entmatcher_graph as graph;
 pub use entmatcher_linalg as linalg;
+pub use entmatcher_support as support;
 
 /// The most common imports in one place.
 pub mod prelude {

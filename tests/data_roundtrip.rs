@@ -88,12 +88,12 @@ fn embedding_snapshots_roundtrip_through_bytes() {
     let pair = generate_pair(&spec);
     let emb = RreaEncoder::default().encode(&pair);
     let bytes = snapshot::to_bytes(&emb.source);
-    let restored = snapshot::from_bytes(bytes).unwrap();
+    let restored = snapshot::from_bytes(&bytes).unwrap();
     assert_eq!(restored, emb.source);
 }
 
 #[test]
-fn pair_serializes_through_serde_json() {
+fn pair_serializes_through_json() {
     let spec = PairSpec {
         classes: 30,
         fillers_per_kg: 5,
@@ -102,12 +102,12 @@ fn pair_serializes_through_serde_json() {
         ..Default::default()
     };
     let pair = generate_pair(&spec);
-    let json = serde_json::to_string(&pair).unwrap();
-    let mut back: KgPair = serde_json::from_str(&json).unwrap();
+    let json = entmatcher::support::json::to_string(&pair);
+    let mut back: KgPair = entmatcher::support::json::from_str(&json).unwrap();
     back.rehydrate();
     assert_eq!(back.gold, pair.gold);
     assert_eq!(back.source.num_triples(), pair.source.num_triples());
-    // Rehydration restores symbol lookups skipped by serde.
+    // Rehydration restores symbol lookups skipped by the decoder.
     let name = pair.source.entity_name(EntityId(0)).unwrap();
     assert_eq!(back.source.entity_id(name), Some(EntityId(0)));
 }

@@ -115,8 +115,10 @@ fn better_encoders_give_better_matching() {
 #[test]
 fn fused_embeddings_beat_both_components() {
     // Table 5's headline: fusing names with structure lifts performance
-    // above either signal alone.
-    let pair = small_pair();
+    // above either signal alone. Uses a slightly larger slice than the
+    // other tests: at scale 0.02 the structural signal is too thin for the
+    // fixed fusion weight to reliably track the stronger name signal.
+    let pair = generate_pair(&entmatcher::data::benchmarks::dbp15k("D-Z", 0.03));
     let task = MatchTask::from_pair(&pair);
     let mut by_kind = std::collections::HashMap::new();
     for kind in [

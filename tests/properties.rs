@@ -1,4 +1,9 @@
-//! Property-based tests over the core algorithms' invariants.
+//! Property-based tests over the core algorithms' invariants, on the
+//! in-tree `entmatcher_support::prop` harness.
+//!
+//! The `regression_*` test at the bottom replays the input that
+//! historically produced a failure (recorded in the retired
+//! `.proptest-regressions` seed file) as an explicit deterministic case.
 
 use entmatcher::core::matching::stable::find_blocking_pair;
 use entmatcher::core::{Csls, RlMatcher};
@@ -7,14 +12,20 @@ use entmatcher::core::{
 };
 use entmatcher::linalg::ops::{col_sums, row_sums};
 use entmatcher::linalg::Matrix;
-use proptest::prelude::*;
+use entmatcher::support::prop::{check, Config, Failed, Gen};
+use entmatcher::support::rng::Rng;
+use entmatcher::support::{prop_assert, prop_assert_eq};
 
-/// Strategy: a random score matrix with values in [-1, 1] (cosine range).
-fn score_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-1.0f32..1.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
-    })
+fn cfg() -> Config {
+    Config::with_cases(64)
+}
+
+/// Generator: a random score matrix with values in [-1, 1] (cosine range).
+fn score_matrix(g: &mut Gen, max_rows: usize, max_cols: usize) -> Matrix {
+    let r = 1 + g.len_in(0, max_rows - 1);
+    let c = 1 + g.len_in(0, max_cols - 1);
+    let data: Vec<f32> = (0..r * c).map(|_| g.gen_range(-1.0f32..1.0)).collect();
+    Matrix::from_vec(r, c, data).expect("sized")
 }
 
 /// Brute-force optimal assignment value for small instances.
@@ -23,12 +34,7 @@ fn brute_force_max(scores: &Matrix) -> f32 {
         if row == scores.rows() {
             return 0.0;
         }
-        let mut best = if depth_left < scores.rows() - row {
-            f32::NEG_INFINITY
-        } else {
-            // Allowed to skip rows only when targets run short.
-            f32::NEG_INFINITY
-        };
+        let mut best = f32::NEG_INFINITY;
         // Option: leave this row unmatched (needed for rectangular cases).
         best = best.max(rec(scores, row + 1, used, depth_left));
         for j in 0..scores.cols() {
@@ -45,18 +51,21 @@ fn brute_force_max(scores: &Matrix) -> f32 {
     rec(scores, 0, &mut vec![false; scores.cols()], scores.cols())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn hungarian_output_is_injective_and_maximal_size(s in score_matrix(12, 12)) {
+#[test]
+fn hungarian_output_is_injective_and_maximal_size() {
+    check("hungarian_output_is_injective_and_maximal_size", cfg(), |g| {
+        let s = score_matrix(g, 12, 12);
         let m = Hungarian.run(&s, &MatchContext::default());
         prop_assert!(m.is_injective());
         prop_assert_eq!(m.matched_count(), s.rows().min(s.cols()));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hungarian_is_optimal_on_small_instances(s in score_matrix(6, 6)) {
+#[test]
+fn hungarian_is_optimal_on_small_instances() {
+    check("hungarian_is_optimal_on_small_instances", cfg(), |g| {
+        let s = score_matrix(g, 6, 6);
         let m = Hungarian.run(&s, &MatchContext::default());
         let got: f32 = m.pairs().map(|(i, j)| s.get(i, j)).sum();
         let want = brute_force_max(&s);
@@ -69,40 +78,65 @@ proptest! {
         if s.rows() == s.cols() && s.as_slice().iter().all(|&v| v >= 0.0) {
             prop_assert!((got - want).abs() < 1e-3, "got {got}, want {want}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gale_shapley_produces_stable_injective_matchings(s in score_matrix(10, 10)) {
+#[test]
+fn gale_shapley_produces_stable_injective_matchings() {
+    check("gale_shapley_produces_stable_injective_matchings", cfg(), |g| {
+        let s = score_matrix(g, 10, 10);
         let m = StableMarriage.run(&s, &MatchContext::default());
         prop_assert!(m.is_injective());
         prop_assert_eq!(m.matched_count(), s.rows().min(s.cols()));
-        prop_assert!(find_blocking_pair(&s, &m).is_none(), "unstable matching produced");
-    }
+        prop_assert!(
+            find_blocking_pair(&s, &m).is_none(),
+            "unstable matching produced"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sinkhorn_columns_are_stochastic_and_squares_are_doubly(s in score_matrix(8, 8)) {
-        let square = s.rows() == s.cols();
-        let out = Sinkhorn { iterations: 50, temperature: 0.1 }.apply(s);
-        // The operation ends with a column normalization (Equation 3's
-        // outer Gamma_c), so column sums are exactly stochastic.
-        for c in col_sums(&out) {
-            prop_assert!((c - 1.0).abs() < 1e-3, "col sum {c}");
+fn check_sinkhorn_stochastic(s: Matrix) -> Result<(), Failed> {
+    let square = s.rows() == s.cols();
+    let out = Sinkhorn {
+        iterations: 50,
+        temperature: 0.1,
+    }
+    .apply(s);
+    // The operation ends with a column normalization (Equation 3's
+    // outer Gamma_c), so column sums are exactly stochastic.
+    for c in col_sums(&out) {
+        prop_assert!((c - 1.0).abs() < 1e-3, "col sum {c}");
+    }
+    // On square inputs the iteration converges towards doubly
+    // stochastic; rectangular inputs cannot have unit row sums.
+    if square {
+        for r in row_sums(&out) {
+            prop_assert!((r - 1.0).abs() < 0.15, "row sum {r}");
         }
-        // On square inputs the iteration converges towards doubly
-        // stochastic; rectangular inputs cannot have unit row sums.
-        if square {
-            for r in row_sums(&out) {
-                prop_assert!((r - 1.0).abs() < 0.15, "row sum {r}");
-            }
-        } else {
-            for r in row_sums(&out) {
-                prop_assert!(r.is_finite() && r >= 0.0);
-            }
+    } else {
+        for r in row_sums(&out) {
+            prop_assert!(r.is_finite() && r >= 0.0);
         }
     }
+    Ok(())
+}
 
-    #[test]
-    fn csls_is_invariant_to_constant_shifts(s in score_matrix(8, 8), shift in -0.5f32..0.5) {
+#[test]
+fn sinkhorn_columns_are_stochastic_and_squares_are_doubly() {
+    check(
+        "sinkhorn_columns_are_stochastic_and_squares_are_doubly",
+        cfg(),
+        |g| check_sinkhorn_stochastic(score_matrix(g, 8, 8)),
+    );
+}
+
+#[test]
+fn csls_is_invariant_to_constant_shifts() {
+    check("csls_is_invariant_to_constant_shifts", cfg(), |g| {
+        let s = score_matrix(g, 8, 8);
+        let shift = g.gen_range(-0.5f32..0.5);
         // CSLS(S + c) == CSLS(S): the correction subtracts the shift back.
         let base = Csls { k: 3 }.apply(s.clone());
         let mut shifted = s;
@@ -111,27 +145,37 @@ proptest! {
         for (a, b) in base.as_slice().iter().zip(out.as_slice().iter()) {
             prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rinf_decisions_are_invariant_to_positive_affine_transforms(
-        s in score_matrix(8, 8),
-        scale in 0.1f32..5.0,
-        shift in -0.5f32..0.5,
-    ) {
-        // Rank-based reciprocal scores only depend on score order, which a
-        // positive affine map preserves.
-        let base = RInf::default().apply(s.clone());
-        let mut transformed = s;
-        transformed.map_inplace(|v| v * scale + shift);
-        let out = RInf::default().apply(transformed);
-        for (a, b) in base.as_slice().iter().zip(out.as_slice().iter()) {
-            prop_assert!((a - b).abs() < 1e-4, "rank scores diverged: {a} vs {b}");
-        }
-    }
+#[test]
+fn rinf_decisions_are_invariant_to_positive_affine_transforms() {
+    check(
+        "rinf_decisions_are_invariant_to_positive_affine_transforms",
+        cfg(),
+        |g| {
+            let s = score_matrix(g, 8, 8);
+            let scale = g.gen_range(0.1f32..5.0);
+            let shift = g.gen_range(-0.5f32..0.5);
+            // Rank-based reciprocal scores only depend on score order, which
+            // a positive affine map preserves.
+            let base = RInf::default().apply(s.clone());
+            let mut transformed = s;
+            transformed.map_inplace(|v| v * scale + shift);
+            let out = RInf::default().apply(transformed);
+            for (a, b) in base.as_slice().iter().zip(out.as_slice().iter()) {
+                prop_assert!((a - b).abs() < 1e-4, "rank scores diverged: {a} vs {b}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn greedy_picks_are_row_maxima(s in score_matrix(10, 10)) {
+#[test]
+fn greedy_picks_are_row_maxima() {
+    check("greedy_picks_are_row_maxima", cfg(), |g| {
+        let s = score_matrix(g, 10, 10);
         let m = Greedy.run(&s, &MatchContext::default());
         for (i, pick) in m.assignment().iter().enumerate() {
             let pick = pick.expect("non-empty rows always match");
@@ -140,30 +184,55 @@ proptest! {
                 prop_assert!(row[pick as usize] >= v);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rl_matcher_is_deterministic_and_in_range(s in score_matrix(10, 10)) {
+#[test]
+fn rl_matcher_is_deterministic_and_in_range() {
+    check("rl_matcher_is_deterministic_and_in_range", cfg(), |g| {
+        let s = score_matrix(g, 10, 10);
         let a = RlMatcher::default().run(&s, &MatchContext::default());
         let b = RlMatcher::default().run(&s, &MatchContext::default());
         prop_assert_eq!(&a, &b);
         for pick in a.assignment().iter().flatten() {
             prop_assert!((*pick as usize) < s.cols());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn optimizers_preserve_matrix_shape(s in score_matrix(9, 7)) {
+#[test]
+fn optimizers_preserve_matrix_shape() {
+    check("optimizers_preserve_matrix_shape", cfg(), |g| {
+        let s = score_matrix(g, 9, 7);
         let shape = s.shape();
         for opt in [
             Box::new(Csls { k: 2 }) as Box<dyn ScoreOptimizer>,
             Box::new(RInf::default()),
             Box::new(RInf::without_ranking()),
-            Box::new(Sinkhorn { iterations: 5, temperature: 0.1 }),
+            Box::new(Sinkhorn {
+                iterations: 5,
+                temperature: 0.1,
+            }),
         ] {
             let out = opt.apply(s.clone());
             prop_assert_eq!(out.shape(), shape, "{} changed shape", opt.name());
-            prop_assert!(out.as_slice().iter().all(|v| v.is_finite()), "{} produced non-finite", opt.name());
+            prop_assert!(
+                out.as_slice().iter().all(|v| v.is_finite()),
+                "{} produced non-finite",
+                opt.name()
+            );
         }
-    }
+        Ok(())
+    });
+}
+
+/// Regression seed `548558e2…` from the retired proptest regression file:
+/// shrank to `s = Matrix { rows: 1, cols: 2, data: [0.0, 0.0] }` — a flat
+/// rectangular instance for the Sinkhorn stochasticity property.
+#[test]
+fn regression_548558e2_sinkhorn_flat_rectangular() {
+    let s = Matrix::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
+    check_sinkhorn_stochastic(s).unwrap();
 }
