@@ -1,8 +1,22 @@
 //! The `entmatcher` command-line binary (see the crate docs for usage).
 
+use entmatcher_support::{json, telemetry};
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match entmatcher_cli::run(&argv) {
+    let result = entmatcher_cli::run(&argv);
+    // ENTMATCHER_TRACE=<path> dumps the whole process's trace at exit;
+    // "1" (or any non-path switch value) only enables recording, leaving
+    // export to `--trace FILE`.
+    if let Some(dest) = telemetry::env_trace_destination() {
+        if dest != "1" {
+            let trace = telemetry::snapshot();
+            if let Err(e) = std::fs::write(&dest, json::to_string_pretty(&trace)) {
+                eprintln!("warning: could not write trace to {dest}: {e}");
+            }
+        }
+    }
+    match result {
         Ok(report) => println!("{report}"),
         Err(e) => {
             eprintln!("{e}");

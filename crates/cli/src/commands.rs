@@ -12,6 +12,7 @@ use entmatcher_graph::io::{load_pair_dir, save_pair_dir};
 use entmatcher_graph::metrics::degree_profile;
 use entmatcher_graph::{DatasetStats, KgPair, Link};
 use entmatcher_linalg::snapshot;
+use entmatcher_support::telemetry;
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
@@ -49,16 +50,40 @@ impl From<std::io::Error> for CliError {
 }
 
 /// Dispatches a parsed command line.
+///
+/// When `--trace FILE` is present the global telemetry registry is reset
+/// and enabled for the duration of the command, and the resulting trace is
+/// exported to `FILE` as pretty-printed JSON (whether the command succeeds
+/// or fails, so aborted runs stay diagnosable).
 pub fn run_command(args: &ParsedArgs) -> Result<String, CliError> {
     if args.has_flag("help") {
         return Ok(USAGE.to_owned());
     }
+    let trace_path = args.get("trace").map(std::path::PathBuf::from);
+    let was_enabled = telemetry::enabled();
+    if trace_path.is_some() {
+        telemetry::reset();
+        telemetry::set_enabled(true);
+    }
+    let result = dispatch(args);
+    let Some(path) = trace_path else {
+        return result;
+    };
+    let trace = telemetry::snapshot();
+    telemetry::set_enabled(was_enabled);
+    let json = entmatcher_support::json::to_string_pretty(&trace);
+    std::fs::write(&path, json)?;
+    result.map(|report| format!("{report}\ntrace written to {}", path.display()))
+}
+
+fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
     match args.command.as_str() {
         "generate" => cmd_generate(args),
         "stats" => cmd_stats(args),
         "encode" => cmd_encode(args),
         "match" => cmd_match(args),
         "eval" => cmd_eval(args),
+        "trace" => cmd_trace(args),
         "help" | "--help" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -175,6 +200,8 @@ fn cmd_encode(args: &ParsedArgs) -> Result<String, CliError> {
     let seed = args.get_u64("seed", 17)?;
     let out = Path::new(args.require("out")?);
     let pair = load_data(dir)?;
+    // Parent span for the encoder's per-epoch/per-layer spans.
+    let _encode_span = telemetry::span("encode");
     let emb = if encoder_name == "fused" {
         let names = entmatcher_embed::NameEncoder::default().encode(&pair);
         let structure = entmatcher_embed::RreaEncoder {
@@ -270,6 +297,14 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
         report.peak_aux_bytes as f64 / 1e6,
         out.display()
     ))
+}
+
+fn cmd_trace(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = Path::new(args.require("file")?);
+    let text = std::fs::read_to_string(path)?;
+    let trace: telemetry::Trace = entmatcher_support::json::from_str(&text)
+        .map_err(|e| CliError::Failed(format!("{}: {e}", path.display())))?;
+    Ok(trace.render())
 }
 
 fn cmd_eval(args: &ParsedArgs) -> Result<String, CliError> {
@@ -401,6 +436,70 @@ mod tests {
             .parse()
             .unwrap();
         assert!(f1 > 0.1, "workflow F1 too low: {f1}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn trace_flag_exports_pipeline_spans_and_renders() {
+        let root = temp_dir("trace");
+        let data = root.join("data");
+        let emb = root.join("emb");
+        let pairs = root.join("pairs.tsv");
+        let trace_file = root.join("trace.json");
+        run(&[
+            "generate",
+            "--preset",
+            "S-W",
+            "--scale",
+            "0.02",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&[
+            "encode",
+            "--data",
+            data.to_str().unwrap(),
+            "--encoder",
+            "name",
+            "--out",
+            emb.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&[
+            "match",
+            "--data",
+            data.to_str().unwrap(),
+            "--embeddings",
+            emb.to_str().unwrap(),
+            "--algorithm",
+            "csls",
+            "--trace",
+            trace_file.to_str().unwrap(),
+            "--out",
+            pairs.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace written to"));
+
+        // The exported file is a parseable trace whose pipeline span has
+        // the three stage children.
+        let text = std::fs::read_to_string(&trace_file).unwrap();
+        let trace: telemetry::Trace = entmatcher_support::json::from_str(&text).unwrap();
+        let pipeline = trace.span("pipeline").expect("pipeline span");
+        let children = trace.children(pipeline.id);
+        for stage in ["similarity", "optimize", "match"] {
+            assert!(
+                children.iter().any(|s| s.name == stage),
+                "missing {stage} span"
+            );
+        }
+        assert!(trace.counter("csls.neighborhoods").unwrap_or(0) > 0);
+
+        // `trace --file` renders the tree.
+        let rendered = run(&["trace", "--file", trace_file.to_str().unwrap()]).unwrap();
+        assert!(rendered.contains("pipeline"), "render: {rendered}");
+        assert!(rendered.contains("similarity"));
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -45,12 +45,22 @@ commands:
   stats     --data DIR
             Print dataset statistics (Table 3 row) and degree profiles.
   encode    --data DIR --encoder <gcn|rrea|transe|name|fused> [--seed N]
-            --out DIR
+            [--trace FILE] --out DIR
             Learn unified embeddings; writes source.emb / target.emb.
   match     --data DIR --embeddings DIR
             --algorithm <dinf|csls|rinf|rinf-wr|rinf-pb|sinkhorn|hungarian|smat|rl>
-            [--dummies] --out FILE
+            [--dummies] [--trace FILE] --out FILE
             Match the test candidates; writes predicted pairs as TSV.
   eval      --data DIR --pairs FILE
             Score predicted pairs against the gold test links.
+  trace     --file FILE
+            Render an exported JSON trace as an indented span tree with
+            counters and histograms.
+
+observability:
+  Every command accepts --trace FILE: telemetry (spans, counters,
+  histograms) is recorded for the command and exported to FILE as JSON.
+  Alternatively set ENTMATCHER_TRACE=FILE to record the whole process and
+  dump the trace at exit, or ENTMATCHER_TRACE=1 to record without dumping.
+  Unset (or 0), telemetry is off and costs one atomic load per site.
 ";

@@ -2,13 +2,20 @@
 //! `Embedding_Matching()`): similarity metric -> score optimizer ->
 //! matcher, with wall-time and peak-auxiliary-memory instrumentation
 //! feeding the paper's efficiency analyses (Figure 5, Tables 6–8).
+//!
+//! Stage timings are recorded as telemetry spans (`pipeline` with
+//! `similarity`/`optimize`/`match` children, plus a `pad` child under
+//! `match` when the dummy protocol runs); the [`ExecutionReport`] fields
+//! are derived from those same span measurements, so the report and an
+//! exported trace always agree.
 
 use crate::dummy::pad_with_dummies;
 use crate::matching::{MatchContext, Matcher, Matching};
 use crate::score::ScoreOptimizer;
 use crate::similarity::{similarity_matrix, SimilarityMetric};
 use entmatcher_linalg::Matrix;
-use std::time::{Duration, Instant};
+use entmatcher_support::telemetry;
+use std::time::Duration;
 
 /// A composed matching pipeline.
 pub struct MatchPipeline {
@@ -51,14 +58,21 @@ pub struct ExecutionReport {
 
 /// Estimates a quantile of the score distribution from a deterministic
 /// sample (full sorting of an n^2 matrix would dominate the pipeline).
+/// Non-finite scores are excluded — a single NaN would otherwise make the
+/// `partial_cmp` sort order (and thus the returned quantile) arbitrary.
 fn score_quantile(scores: &Matrix, q: f64) -> f32 {
     let data = scores.as_slice();
-    if data.is_empty() {
+    let stride = (data.len() / 20_000).max(1);
+    let mut sample: Vec<f32> = data
+        .iter()
+        .step_by(stride)
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    if sample.is_empty() {
         return 0.0;
     }
-    let stride = (data.len() / 20_000).max(1);
-    let mut sample: Vec<f32> = data.iter().step_by(stride).copied().collect();
-    sample.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sample.sort_by(|a, b| a.partial_cmp(b).expect("non-finite scores filtered"));
     let idx = ((sample.len() - 1) as f64 * q).round() as usize;
     sample[idx]
 }
@@ -104,37 +118,48 @@ impl MatchPipeline {
     /// Runs the full pipeline on unified candidate embeddings
     /// (`n_s x d` source rows, `n_t x d` target rows).
     pub fn execute(&self, source: &Matrix, target: &Matrix, ctx: &MatchContext) -> ExecutionReport {
-        let start = Instant::now();
+        let total_span = telemetry::span("pipeline");
         let (n_s, n_t) = (source.rows(), target.rows());
+        let padding = self.pad_dummies && n_s != n_t;
+
+        let mut sim_span = telemetry::span("similarity");
         let scores = similarity_matrix(source, target, self.metric);
-        let similarity_time = start.elapsed();
         let sim_bytes = scores.heap_bytes();
-        let opt_start = Instant::now();
+        sim_span.add_bytes(sim_bytes as u64);
+        let similarity_time = sim_span.finish();
+
+        let mut opt_span = telemetry::span("optimize");
+        let opt_bytes = self.optimizer.aux_bytes(n_s, n_t);
+        opt_span.add_bytes(opt_bytes as u64);
         let scores = self.optimizer.apply(scores);
-        let optimize_time = opt_start.elapsed();
-        let match_start = Instant::now();
-        let matching = if self.pad_dummies && n_s != n_t {
+        let optimize_time = opt_span.finish();
+
+        // With dummy padding the matcher runs on the padded n x n matrix,
+        // so its memory estimate must use the padded dimensions too.
+        let n = n_s.max(n_t);
+        let (match_s, match_t) = if padding { (n, n) } else { (n_s, n_t) };
+        let matcher_bytes = self.matcher.aux_bytes(match_s, match_t);
+        let pad_bytes = if padding { n * n * 4 } else { 0 };
+
+        let mut match_span = telemetry::span("match");
+        match_span.add_bytes((matcher_bytes + pad_bytes) as u64);
+        let matching = if padding {
+            let mut pad_span = telemetry::span("pad");
+            pad_span.add_bytes(pad_bytes as u64);
             let dummy = score_quantile(&scores, self.dummy_quantile);
             let padded = pad_with_dummies(&scores, dummy);
+            drop(pad_span);
             let m = self.matcher.run(&padded.scores, ctx);
             padded.strip(&m)
         } else {
             self.matcher.run(&scores, ctx)
         };
-        let match_time = match_start.elapsed();
-        let n = n_s.max(n_t);
-        let pad_bytes = if self.pad_dummies && n_s != n_t {
-            n * n * 4
-        } else {
-            0
-        };
-        let peak_aux_bytes = sim_bytes
-            + self.optimizer.aux_bytes(n_s, n_t)
-            + self.matcher.aux_bytes(n_s, n_t)
-            + pad_bytes;
+        let match_time = match_span.finish();
+
+        let peak_aux_bytes = sim_bytes + opt_bytes + matcher_bytes + pad_bytes;
         ExecutionReport {
             matching,
-            elapsed: start.elapsed(),
+            elapsed: total_span.finish(),
             similarity_time,
             optimize_time,
             match_time,
@@ -209,5 +234,155 @@ mod tests {
         assert!(r.similarity_time <= r.elapsed);
         assert!(r.optimize_time <= r.elapsed);
         assert!(r.match_time <= r.elapsed);
+    }
+
+    #[test]
+    fn score_quantile_ignores_non_finite_scores() {
+        let clean = Matrix::from_vec(1, 5, vec![0.1, 0.2, 0.3, 0.4, 0.5]).unwrap();
+        let dirty = Matrix::from_vec(
+            1,
+            8,
+            vec![f32::NAN, 0.1, 0.2, f32::INFINITY, 0.3, 0.4, f32::NEG_INFINITY, 0.5],
+        )
+        .unwrap();
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                score_quantile(&dirty, q),
+                score_quantile(&clean, q),
+                "q={q}: NaN/inf must not perturb the quantile"
+            );
+        }
+        // All-NaN input degrades to the 0.0 fallback instead of indexing
+        // an arbitrarily ordered sample.
+        let all_nan = Matrix::from_vec(1, 2, vec![f32::NAN, f32::NAN]).unwrap();
+        assert_eq!(score_quantile(&all_nan, 0.9), 0.0);
+        assert_eq!(score_quantile(&Matrix::zeros(0, 0), 0.5), 0.0);
+    }
+
+    /// A matcher probe that records the dimensions its `aux_bytes` was
+    /// asked about, so tests can pin the padded-dimension accounting.
+    struct DimProbe {
+        asked: std::sync::Mutex<Vec<(usize, usize)>>,
+    }
+
+    impl Matcher for DimProbe {
+        fn name(&self) -> &'static str {
+            "DimProbe"
+        }
+
+        fn run(&self, scores: &Matrix, _ctx: &MatchContext) -> Matching {
+            Matching::new(vec![None; scores.rows()])
+        }
+
+        fn aux_bytes(&self, n_s: usize, n_t: usize) -> usize {
+            self.asked.lock().unwrap().push((n_s, n_t));
+            n_s * n_t
+        }
+    }
+
+    #[test]
+    fn padded_pipeline_accounts_matcher_memory_at_padded_dims() {
+        // 3 sources, 2 targets: padding squares the matrix to 3 x 3, and
+        // the matcher's memory estimate must be asked about 3 x 3, not the
+        // unpadded 3 x 2 it never sees.
+        let s = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.4, 0.4]).unwrap();
+        let t = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let probe = DimProbe {
+            asked: std::sync::Mutex::new(Vec::new()),
+        };
+        let p = MatchPipeline::new(SimilarityMetric::Cosine, Box::new(NoOp), Box::new(probe))
+            .with_dummies(0.75);
+        let r = p.execute(&s, &t, &MatchContext::default());
+        // Downcast-free readback: the probe is owned by the pipeline, so
+        // re-derive expectations from the report instead. sim matrix 3x2
+        // f32 = 24 bytes, matcher 3*3 = 9, pad buffer 3*3*4 = 36.
+        assert_eq!(r.peak_aux_bytes, 24 + 9 + 36);
+
+        // Unpadded comparison: same matcher estimate at true dims (3*2=6),
+        // no pad buffer — strictly less than the padded report.
+        let probe2 = DimProbe {
+            asked: std::sync::Mutex::new(Vec::new()),
+        };
+        let p2 = MatchPipeline::new(SimilarityMetric::Cosine, Box::new(NoOp), Box::new(probe2));
+        let r2 = p2.execute(&s, &t, &MatchContext::default());
+        assert_eq!(r2.peak_aux_bytes, 24 + 6);
+        assert!(r.peak_aux_bytes > r2.peak_aux_bytes);
+    }
+
+    #[test]
+    fn execution_report_is_a_view_of_the_trace() {
+        use entmatcher_support::telemetry;
+
+        let _guard = crate::telemetry_test_lock();
+        let (s, t) = toy_embeddings();
+        let p = MatchPipeline::new(
+            SimilarityMetric::Cosine,
+            Box::new(Csls::default()),
+            Box::new(Greedy),
+        );
+        telemetry::set_enabled(true);
+        let r = p.execute(&s, &t, &MatchContext::default());
+        let trace = telemetry::snapshot();
+        telemetry::set_enabled(false);
+
+        // Other tests may run concurrently with telemetry enabled, so
+        // locate *our* spans by their exact recorded durations.
+        let pipeline = trace
+            .spans_named("pipeline")
+            .find(|sp| sp.duration_ns == r.elapsed.as_nanos() as u64)
+            .expect("pipeline span recorded");
+        let stages = [
+            ("similarity", r.similarity_time),
+            ("optimize", r.optimize_time),
+            ("match", r.match_time),
+        ];
+        for (name, want) in stages {
+            let span = trace
+                .spans_named(name)
+                .find(|sp| sp.parent == Some(pipeline.id))
+                .unwrap_or_else(|| panic!("{name} span under pipeline"));
+            assert_eq!(
+                span.duration_ns,
+                want.as_nanos() as u64,
+                "{name} report field must equal its span"
+            );
+            assert!(span.duration_ns <= pipeline.duration_ns);
+        }
+        // Stage byte attributions sum to the report's peak estimate.
+        let byte_sum: u64 = trace
+            .children(pipeline.id)
+            .iter()
+            .map(|sp| sp.bytes)
+            .sum();
+        assert_eq!(byte_sum, r.peak_aux_bytes as u64);
+    }
+
+    #[test]
+    fn padded_run_emits_pad_span_under_match() {
+        use entmatcher_support::telemetry;
+
+        let _guard = crate::telemetry_test_lock();
+        let s = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.4, 0.4]).unwrap();
+        let t = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let p = MatchPipeline::new(
+            SimilarityMetric::Cosine,
+            Box::new(NoOp),
+            Box::new(Hungarian),
+        )
+        .with_dummies(0.75);
+        telemetry::set_enabled(true);
+        let r = p.execute(&s, &t, &MatchContext::default());
+        let trace = telemetry::snapshot();
+        telemetry::set_enabled(false);
+
+        let match_span = trace
+            .spans_named("match")
+            .find(|sp| sp.duration_ns == r.match_time.as_nanos() as u64)
+            .expect("match span recorded");
+        let pads = trace.children(match_span.id);
+        assert!(
+            pads.iter().any(|sp| sp.name == "pad" && sp.bytes == 9 * 4),
+            "pad child span with the padded-buffer bytes, got {pads:?}"
+        );
     }
 }

@@ -14,6 +14,7 @@ use super::ScoreOptimizer;
 use entmatcher_linalg::parallel::{par_map_rows, par_row_chunks_mut};
 use entmatcher_linalg::rank::top_k_mean;
 use entmatcher_linalg::Matrix;
+use entmatcher_support::telemetry;
 
 /// CSLS score optimizer.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +48,7 @@ impl ScoreOptimizer for Csls {
         let transposed = scores.transposed();
         let phi_t: Vec<f32> = par_map_rows(n_t, |j| top_k_mean(transposed.row(j), self.k));
         drop(transposed);
+        telemetry::add("csls.neighborhoods", (n_s + n_t) as u64);
 
         let phi_s_ref = &phi_s;
         let phi_t_ref = &phi_t;

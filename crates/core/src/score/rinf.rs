@@ -14,6 +14,7 @@ use super::ScoreOptimizer;
 use entmatcher_linalg::parallel::{par_map_rows, par_row_chunks_mut};
 use entmatcher_linalg::rank::{rank_desc, top_k_desc};
 use entmatcher_linalg::Matrix;
+use entmatcher_support::telemetry;
 
 /// Full reciprocal optimizer. `ranking = false` yields the RInf-wr
 /// ("without ranking") variant, which averages the raw preference scores
@@ -120,6 +121,8 @@ impl ScoreOptimizer for RInf {
                     }
                 }
             });
+            telemetry::add("rinf.rounds", 1);
+            telemetry::add("rinf.rows_ranked", (n_s + n_t) as u64);
         } else {
             // RInf-wr: average the raw preferences directly.
             let scores_ref = &scores;
@@ -136,6 +139,7 @@ impl ScoreOptimizer for RInf {
                     }
                 }
             });
+            telemetry::add("rinf.rounds", 1);
         }
         out
     }
@@ -226,6 +230,8 @@ impl ScoreOptimizer for RInfProgressive {
                 }
             }
         });
+        telemetry::add("rinf.rounds", 1);
+        telemetry::add("rinf.shortlisted", (n_s * block.min(n_t)) as u64);
         out
     }
 

@@ -9,6 +9,7 @@
 use super::ScoreOptimizer;
 use entmatcher_linalg::parallel::par_row_chunks_mut;
 use entmatcher_linalg::Matrix;
+use entmatcher_support::telemetry;
 
 /// Sinkhorn score optimizer.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +50,7 @@ impl ScoreOptimizer for Sinkhorn {
         let inv_tau = 1.0 / self.temperature;
         scores.map_inplace(|v| ((v - max) * inv_tau).exp());
 
+        let tracing = telemetry::enabled();
         let mut col_sums = vec![0.0f32; n_t];
         for _ in 0..self.iterations {
             // Row normalization (parallel, rows are contiguous).
@@ -69,6 +71,16 @@ impl ScoreOptimizer for Sinkhorn {
                 for (s, &v) in col_sums.iter_mut().zip(row.iter()) {
                     *s += v;
                 }
+            }
+            if tracing {
+                // The column sums after row normalization are the natural
+                // convergence signal: their max deviation from 1 shrinks
+                // to 0 as the matrix approaches double stochasticity.
+                let dev = col_sums
+                    .iter()
+                    .fold(0.0f32, |acc, &s| acc.max((s - 1.0).abs()));
+                telemetry::add("sinkhorn.iterations", 1);
+                telemetry::observe("sinkhorn.col_dev", dev as f64);
             }
             let inv: Vec<f32> = col_sums
                 .iter()
@@ -179,6 +191,27 @@ mod tests {
         // exp shifted by max: exp(-1), exp(0).
         assert!((out.get(0, 1) - 1.0).abs() < 1e-6);
         assert!((out.get(0, 0) - (-1.0f32).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn telemetry_counts_iterations_and_convergence() {
+        let _guard = crate::telemetry_test_lock();
+        telemetry::reset();
+        telemetry::set_enabled(true);
+        let s = Matrix::from_fn(6, 6, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.1);
+        Sinkhorn {
+            iterations: 25,
+            temperature: 0.1,
+        }
+        .apply(s);
+        let trace = telemetry::snapshot();
+        telemetry::set_enabled(false);
+        assert!(trace.counter("sinkhorn.iterations").unwrap_or(0) >= 25);
+        let dev = trace.histogram("sinkhorn.col_dev").expect("col_dev recorded");
+        assert!(dev.count >= 25);
+        // Deviations shrink toward 0 as the matrix converges, so the
+        // minimum observed deviation must be small.
+        assert!(dev.min < 0.05, "converged deviation {}", dev.min);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::encoder::{Encoder, UnifiedEmbeddings};
 use crate::propagation::{propagate, PropagationConfig};
 use entmatcher_graph::KgPair;
+use entmatcher_support::telemetry;
 
 /// Plain graph-convolutional encoder: seed-anchored random initialization
 /// followed by uniform mean aggregation on each KG independently.
@@ -63,6 +64,7 @@ impl Encoder for GcnEncoder {
         // every step, and the pinned anchors are what pull equivalent
         // test entities together.
         for _ in 0..self.layers {
+            let _layer_span = telemetry::span("gcn.layer");
             source = propagate(&pair.source, &source, &cfg);
             target = propagate(&pair.target, &target, &cfg);
             crate::init::overwrite_anchors(&mut source, &mut target, anchors, &vectors);

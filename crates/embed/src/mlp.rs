@@ -11,6 +11,7 @@
 use crate::encoder::UnifiedEmbeddings;
 use entmatcher_graph::AlignmentSet;
 use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
+use entmatcher_support::telemetry;
 
 /// Hyper-parameters for the pair classifier.
 #[derive(Debug, Clone)]
@@ -181,15 +182,18 @@ pub fn train_pair_classifier(
     }
     let mut order: Vec<usize> = (0..examples.len()).collect();
     for _ in 0..cfg.epochs {
+        let _epoch_span = telemetry::span("mlp.epoch");
         // Reshuffle each epoch.
         for i in (1..order.len()).rev() {
             let j = rng.gen_range(0..=i);
             order.swap(i, j);
         }
+        let mut loss = 0.0f64;
         for &i in &order {
             let (x, y) = &examples[i];
-            model.step(x, *y, cfg.lr);
+            loss += model.step(x, *y, cfg.lr) as f64;
         }
+        telemetry::observe("mlp.loss", loss);
     }
     model
 }

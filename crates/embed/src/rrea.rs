@@ -6,6 +6,7 @@ use crate::propagation::{inverse_frequency_weights, propagate, PropagationConfig
 use entmatcher_graph::{AlignmentSet, EntityId, KgPair, Link};
 use entmatcher_linalg::parallel::par_map_rows;
 use entmatcher_linalg::{dot, Matrix};
+use entmatcher_support::telemetry;
 use std::collections::HashSet;
 
 /// Relation-aware encoder with semi-supervised bootstrapping.
@@ -78,6 +79,7 @@ impl RreaEncoder {
         };
         // Layer-wise propagation with anchor re-pinning (see GcnEncoder).
         for _ in 0..self.layers {
+            let _layer_span = telemetry::span("rrea.layer");
             source = propagate(&pair.source, &source, &src_cfg);
             target = propagate(&pair.target, &target, &tgt_cfg);
             crate::init::overwrite_anchors(&mut source, &mut target, anchors, &vectors);
@@ -98,6 +100,7 @@ impl Encoder for RreaEncoder {
         let mut anchors = pair.train_links().clone();
         let mut emb = self.encode_with_anchors(pair, &anchors);
         for _ in 0..self.bootstrap_rounds {
+            let _round_span = telemetry::span("rrea.bootstrap_round");
             let anchored_s: HashSet<EntityId> = anchors.iter().map(|l| l.source).collect();
             let anchored_t: HashSet<EntityId> = anchors.iter().map(|l| l.target).collect();
             let pseudo =
@@ -111,6 +114,7 @@ impl Encoder for RreaEncoder {
                 anchors.push(Link::new(s, t));
                 added += 1;
             }
+            telemetry::add("rrea.pseudo_seeds", added as u64);
             if added == 0 {
                 break;
             }

@@ -17,6 +17,7 @@ use crate::encoder::{Encoder, UnifiedEmbeddings};
 use entmatcher_graph::{EntityId, KgPair, KnowledgeGraph, Triple};
 use entmatcher_linalg::{normalize_rows_l2, Matrix};
 use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
+use entmatcher_support::telemetry;
 use std::collections::HashMap;
 
 /// Translational encoder with margin-ranking SGD.
@@ -106,18 +107,22 @@ impl Encoder for TransEEncoder {
             .collect();
 
         for _ in 0..self.epochs {
-            self.train_graph_epoch(
+            // Dropped at the end of the iteration, so the span also covers
+            // the seed-pair calibration below.
+            let _epoch_span = telemetry::span("transe.epoch");
+            let loss_s = self.train_graph_epoch(
                 &pair.source,
                 &mut state.source_ent,
                 &mut state.source_rel,
                 &mut rng,
             );
-            self.train_graph_epoch(
+            let loss_t = self.train_graph_epoch(
                 &pair.target,
                 &mut state.target_ent,
                 &mut state.target_rel,
                 &mut rng,
             );
+            telemetry::observe("transe.loss", loss_s + loss_t);
             // Calibrate seed pairs: pull both rows to their mean.
             for &(su, tv) in &seed_links {
                 let mut mean = vec![0.0f32; self.dim];
@@ -145,18 +150,21 @@ impl Encoder for TransEEncoder {
 
 impl TransEEncoder {
     /// One margin-ranking epoch over `kg`'s triples with random negative
-    /// corruption (head or tail, 50/50).
+    /// corruption (head or tail, 50/50). Returns the summed hinge loss of
+    /// the epoch (the per-epoch convergence signal exported as the
+    /// `transe.loss` telemetry histogram).
     fn train_graph_epoch(
         &self,
         kg: &KnowledgeGraph,
         entities: &mut Matrix,
         relations: &mut Matrix,
         rng: &mut StdRng,
-    ) {
+    ) -> f64 {
         let n = kg.num_entities();
         if n == 0 {
-            return;
+            return 0.0;
         }
+        let mut loss = 0.0f64;
         for t in kg.triples() {
             let corrupt_head = rng.gen_bool(0.5);
             let neg_entity = EntityId(rng.gen_range(0..n) as u32);
@@ -165,24 +173,33 @@ impl TransEEncoder {
             } else {
                 Triple::new(t.subject, t.predicate, neg_entity)
             };
-            self.margin_step(entities, relations, *t, neg);
+            loss += self.margin_step(entities, relations, *t, neg) as f64;
         }
         // TransE constrains entity norms to <= 1 after each epoch.
         clamp_row_norms(entities, 1.0);
+        loss
     }
 
     /// SGD step on `max(0, margin + d(pos) - d(neg))` with squared-L2
-    /// distances `d(s, p, o) = ||s + p - o||^2`.
-    fn margin_step(&self, entities: &mut Matrix, relations: &mut Matrix, pos: Triple, neg: Triple) {
+    /// distances `d(s, p, o) = ||s + p - o||^2`. Returns the hinge loss.
+    fn margin_step(
+        &self,
+        entities: &mut Matrix,
+        relations: &mut Matrix,
+        pos: Triple,
+        neg: Triple,
+    ) -> f32 {
         let d_pos = triple_distance(entities, relations, pos);
         let d_neg = triple_distance(entities, relations, neg);
-        if self.margin + d_pos - d_neg <= 0.0 {
-            return; // margin satisfied, no gradient
+        let hinge = self.margin + d_pos - d_neg;
+        if hinge <= 0.0 {
+            return 0.0; // margin satisfied, no gradient
         }
         // Gradient of d(s,p,o) wrt s and p is 2(s + p - o); wrt o is the
         // negation. Positive triple descends, negative ascends.
         apply_triple_gradient(entities, relations, pos, -self.lr);
         apply_triple_gradient(entities, relations, neg, self.lr);
+        hinge
     }
 }
 
@@ -354,5 +371,27 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(enc.encode(&pair).source, enc.encode(&pair).source);
+    }
+
+    #[test]
+    fn telemetry_records_epoch_spans_and_loss() {
+        let _guard = crate::telemetry_test_lock();
+        let pair = toy_pair();
+        telemetry::reset();
+        telemetry::set_enabled(true);
+        TransEEncoder {
+            epochs: 4,
+            ..Default::default()
+        }
+        .encode(&pair);
+        let trace = telemetry::snapshot();
+        telemetry::set_enabled(false);
+        assert!(
+            trace.spans_named("transe.epoch").count() >= 4,
+            "one span per epoch"
+        );
+        let loss = trace.histogram("transe.loss").expect("loss recorded");
+        assert!(loss.count >= 4);
+        assert!(loss.sum > 0.0, "margin loss should be positive early on");
     }
 }

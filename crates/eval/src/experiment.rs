@@ -10,6 +10,7 @@ use entmatcher_core::AlgorithmPreset;
 use entmatcher_embed::UnifiedEmbeddings;
 use entmatcher_graph::KgPair;
 use entmatcher_support::json::{FromJson, Json, JsonError, Map, ToJson};
+use entmatcher_support::telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -68,6 +69,12 @@ pub fn run_cell(
     preset: AlgorithmPreset,
     pad_dummies: bool,
 ) -> CellResult {
+    let _cell_span = telemetry::span(format!(
+        "cell:{}/{}{}",
+        pair.id,
+        encoder_prefix,
+        preset.name()
+    ));
     let task = MatchTask::from_pair(pair);
     let (source, target) = task.candidate_embeddings(emb);
     let ctx = task.context(pair);
@@ -144,6 +151,9 @@ impl ExperimentGrid {
                         break;
                     }
                     let cell = run_cell(pair, encoder_prefix, emb, presets[i], self.pad_dummies);
+                    // Progress signal for long grids: one tick per finished
+                    // cell, readable from another thread via `snapshot()`.
+                    telemetry::add("grid.heartbeat", 1);
                     results.lock().expect("no panics hold the lock")[i] = Some(cell);
                 });
             }
@@ -223,6 +233,34 @@ mod tests {
             assert_eq!(r.algorithm, p.name());
             let serial = run_cell(&pair, "G-", &emb, *p, false);
             assert_eq!(r.scores.f1, serial.scores.f1, "{} differs", p.name());
+        }
+    }
+
+    #[test]
+    fn grid_emits_cell_spans_and_heartbeat() {
+        let _guard = crate::telemetry_test_lock();
+        telemetry::reset();
+        telemetry::set_enabled(true);
+        let pair = small_pair();
+        let emb = EncoderKind::Gcn.encode(&pair);
+        let presets = [
+            AlgorithmPreset::DInf,
+            AlgorithmPreset::Csls,
+            AlgorithmPreset::StableMarriage,
+        ];
+        ExperimentGrid::default().run_with_embeddings(&pair, "G-", &emb, &presets);
+        let trace = telemetry::snapshot();
+        telemetry::set_enabled(false);
+        assert!(trace.counter("grid.heartbeat").unwrap_or(0) >= 3);
+        for p in &presets {
+            let name = format!("cell:{}/G-{}", pair.id, p.name());
+            let cell = trace.span(&name).unwrap_or_else(|| panic!("{name} span"));
+            // Each cell wraps a full pipeline execution, recorded as a
+            // child span of the cell (workers make cells trace roots).
+            assert!(trace
+                .children(cell.id)
+                .iter()
+                .any(|s| s.name == "pipeline"));
         }
     }
 

@@ -14,6 +14,9 @@
 //!   input shrinking.
 //! - [`bench`] — a tiny wall-clock benchmark harness for `harness = false`
 //!   bench targets.
+//! - [`telemetry`] — structured spans, counters, and log-scale histograms
+//!   with JSON trace export (the `ENTMATCHER_TRACE` / `--trace`
+//!   observability layer every crate reports into).
 //!
 //! The API shapes deliberately mirror the external crates they replace so
 //! that call sites migrate by swapping `use` lines, not rewriting bodies.
@@ -22,3 +25,4 @@ pub mod bench;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod telemetry;

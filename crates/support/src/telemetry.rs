@@ -1,0 +1,749 @@
+//! Structured telemetry: hierarchical spans, counters, and log-scale
+//! histograms with JSON trace export.
+//!
+//! The paper's headline results are *efficiency* analyses — per-stage wall
+//! time and peak auxiliary memory of every similarity × optimizer × matcher
+//! combination (Figure 5, Tables 6–8). This module makes that
+//! instrumentation a permanent subsystem instead of scattered
+//! `Instant::now()` calls: every pipeline stage, optimizer iteration,
+//! encoder epoch, and experiment-grid cell reports into one thread-safe
+//! registry, and the whole run exports as a single JSON trace document.
+//!
+//! # Model
+//!
+//! - A **span** is a named interval of wall time with an optional parent
+//!   (forming a tree), a start offset relative to the registry's epoch, and
+//!   a bytes attribution for memory accounting. Spans are recorded by RAII
+//!   [`SpanGuard`]s: created by [`Telemetry::span`], completed on drop or
+//!   by [`SpanGuard::finish`] (which also returns the measured
+//!   [`Duration`], so report structs can be *derived views* of the trace).
+//!   Parentage is tracked per thread: a span started while another span on
+//!   the same thread is open becomes its child; spans on fresh threads are
+//!   roots.
+//! - A **counter** is a named monotonically increasing `u64` (e.g. rounds
+//!   executed, cells completed, pseudo-seeds promoted).
+//! - A **histogram** is a named distribution over `f64` samples bucketed at
+//!   powers of two (`bucket = floor(log2(v))`), with exact count / sum /
+//!   min / max — the right shape for convergence deltas and losses that
+//!   span many orders of magnitude.
+//!
+//! # Overhead
+//!
+//! Recording is off by default. Every recording call first reads one
+//! relaxed atomic and returns immediately when disabled, so an
+//! uninstrumented run pays a few nanoseconds per site and allocates
+//! nothing. [`SpanGuard`] still carries its `Instant` so stage durations
+//! remain available to callers either way. The switch is the
+//! `ENTMATCHER_TRACE` environment variable (any non-empty value other than
+//! `0`) or a programmatic [`set_enabled`] call (the CLI's `--trace` flag).
+//!
+//! # Example
+//!
+//! ```
+//! use entmatcher_support::json::{FromJson, ToJson};
+//! use entmatcher_support::telemetry::Telemetry;
+//!
+//! let t = Telemetry::new();
+//! t.set_enabled(true);
+//! {
+//!     let _outer = t.span("pipeline");
+//!     let mut inner = t.span("similarity");
+//!     inner.add_bytes(1024);
+//!     let elapsed = inner.finish();
+//!     assert!(elapsed.as_nanos() > 0);
+//!     t.add("cells", 1);
+//!     t.observe("delta", 0.125);
+//! }
+//! let trace = t.snapshot();
+//! let back = entmatcher_support::telemetry::Trace::from_json(
+//!     &entmatcher_support::json::Json::parse(&trace.to_json().dump()).unwrap(),
+//! )
+//! .unwrap();
+//! assert_eq!(trace, back);
+//! ```
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Wire-format version stamped into every exported trace document.
+pub const TRACE_VERSION: u64 = 1;
+
+/// Histogram bucket index for samples that have no binary exponent
+/// (zero, negative, or NaN inputs).
+pub const UNDERFLOW_BUCKET: i32 = i32::MIN;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// A thread-safe telemetry registry: spans, counters, and histograms.
+///
+/// Most code uses the process-global registry through the module-level
+/// functions ([`span`], [`add`], [`observe`], [`snapshot`]); standalone
+/// instances exist so tests and embedders can collect in isolation.
+pub struct Telemetry {
+    enabled: AtomicBool,
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+#[derive(Default)]
+struct State {
+    next_span_id: u64,
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Hist>,
+}
+
+#[derive(Default, Clone)]
+struct Hist {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: BTreeMap<i32, u64>,
+}
+
+// Per-thread stack of open spans, keyed by registry address so that spans
+// of independent `Telemetry` instances never adopt each other.
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// Creates a registry with recording disabled.
+    pub fn new() -> Self {
+        Telemetry {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// Whether recording is currently on (one relaxed atomic load — the
+    /// cost every instrumentation site pays when telemetry is off).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Spans already open keep recording their
+    /// completion; new guards consult the flag at creation.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Opens a span. When recording is off the guard is inert (it still
+    /// measures wall time for [`SpanGuard::finish`], but records nothing).
+    pub fn span(&self, name: impl Into<Cow<'static, str>>) -> SpanGuard<'_> {
+        let start = Instant::now();
+        if !self.is_enabled() {
+            return SpanGuard {
+                telemetry: self,
+                start,
+                open: None,
+            };
+        }
+        let id = {
+            let mut state = self.state.lock().expect("telemetry lock poisoned");
+            state.next_span_id += 1;
+            state.next_span_id
+        };
+        let key = self as *const Telemetry as usize;
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.iter().rev().find(|(k, _)| *k == key).map(|&(_, id)| id);
+            stack.push((key, id));
+            parent
+        });
+        SpanGuard {
+            telemetry: self,
+            start,
+            open: Some(OpenSpan {
+                id,
+                parent,
+                name: name.into(),
+                start_ns: self.epoch.elapsed().as_nanos() as u64,
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// Increments counter `name` by `delta`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry lock poisoned");
+        if let Some(slot) = state.counters.get_mut(name) {
+            *slot += delta;
+        } else {
+            state.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Records one sample into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry lock poisoned");
+        let hist = if state.histograms.contains_key(name) {
+            state.histograms.get_mut(name).unwrap()
+        } else {
+            state
+                .histograms
+                .entry(name.to_owned())
+                .or_insert_with(Hist::default)
+        };
+        if value.is_finite() {
+            if hist.count == 0 || value < hist.min {
+                hist.min = value;
+            }
+            if hist.count == 0 || value > hist.max {
+                hist.max = value;
+            }
+            hist.sum += value;
+        }
+        hist.count += 1;
+        *hist.buckets.entry(log2_bucket(value)).or_insert(0) += 1;
+    }
+
+    /// Copies the current contents into an immutable [`Trace`] document.
+    /// Open spans are not included — snapshot after the work completes.
+    pub fn snapshot(&self) -> Trace {
+        let state = self.state.lock().expect("telemetry lock poisoned");
+        Trace {
+            version: TRACE_VERSION,
+            spans: state.spans.clone(),
+            counters: state
+                .counters
+                .iter()
+                .map(|(name, &value)| Counter {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            histograms: state
+                .histograms
+                .iter()
+                .map(|(name, h)| Histogram {
+                    name: name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    buckets: h.buckets.iter().map(|(&b, &c)| (b, c)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Clears all recorded data (the enabled flag is untouched).
+    pub fn reset(&self) {
+        let mut state = self.state.lock().expect("telemetry lock poisoned");
+        *state = State::default();
+    }
+
+    fn record(&self, open: OpenSpan, duration: Duration) {
+        let key = self as *const Telemetry as usize;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&e| e == (key, open.id)) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name.into_owned(),
+            start_ns: open.start_ns,
+            duration_ns: duration.as_nanos() as u64,
+            bytes: open.bytes,
+        };
+        self.state
+            .lock()
+            .expect("telemetry lock poisoned")
+            .spans
+            .push(record);
+    }
+}
+
+/// Power-of-two bucket index: `floor(log2(v))` for positive finite `v`,
+/// [`UNDERFLOW_BUCKET`] otherwise.
+pub fn log2_bucket(v: f64) -> i32 {
+    if v > 0.0 && v.is_finite() {
+        v.log2().floor().clamp(-1080.0, 1080.0) as i32
+    } else {
+        UNDERFLOW_BUCKET
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span guard
+// ---------------------------------------------------------------------------
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: Cow<'static, str>,
+    start_ns: u64,
+    bytes: u64,
+}
+
+/// RAII guard for an open span: records the span on drop (or via
+/// [`Self::finish`], which also returns the measured duration).
+pub struct SpanGuard<'a> {
+    telemetry: &'a Telemetry,
+    start: Instant,
+    open: Option<OpenSpan>,
+}
+
+impl SpanGuard<'_> {
+    /// Attributes auxiliary heap bytes to this span (cumulative).
+    pub fn add_bytes(&mut self, bytes: u64) {
+        if let Some(open) = &mut self.open {
+            open.bytes += bytes;
+        }
+    }
+
+    /// The span id, when recording (stable within one registry).
+    pub fn id(&self) -> Option<u64> {
+        self.open.as_ref().map(|o| o.id)
+    }
+
+    /// Wall time since the span opened, without closing it.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span and returns its wall time. Works whether or not
+    /// recording is on, so stage timings in report structs can be derived
+    /// from the same measurement the trace stores.
+    pub fn finish(mut self) -> Duration {
+        let duration = self.start.elapsed();
+        if let Some(open) = self.open.take() {
+            self.telemetry.record(open, duration);
+        }
+        duration
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            self.telemetry.record(open, self.start.elapsed());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global registry
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// The process-global registry. Recording starts enabled iff the
+/// `ENTMATCHER_TRACE` environment variable is set to a non-empty value
+/// other than `0` at first use.
+pub fn global() -> &'static Telemetry {
+    GLOBAL.get_or_init(|| {
+        let t = Telemetry::new();
+        if env_trace_destination().is_some() {
+            t.set_enabled(true);
+        }
+        t
+    })
+}
+
+/// The `ENTMATCHER_TRACE` setting, normalized: `None` when unset, empty, or
+/// `0`; otherwise the raw value. Values other than `1` are treated by the
+/// CLI as an output path for the trace document.
+pub fn env_trace_destination() -> Option<String> {
+    match std::env::var("ENTMATCHER_TRACE") {
+        Ok(v) if !v.is_empty() && v != "0" => Some(v),
+        _ => None,
+    }
+}
+
+/// Whether the global registry is recording.
+#[inline]
+pub fn enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Turns global recording on or off (the CLI's `--trace` entry point).
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Opens a span on the global registry.
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard<'static> {
+    global().span(name)
+}
+
+/// Increments a global counter.
+pub fn add(name: &str, delta: u64) {
+    global().add(name, delta)
+}
+
+/// Records a sample into a global histogram.
+pub fn observe(name: &str, value: f64) {
+    global().observe(name, value)
+}
+
+/// Snapshots the global registry.
+pub fn snapshot() -> Trace {
+    global().snapshot()
+}
+
+/// Clears the global registry.
+pub fn reset() {
+    global().reset()
+}
+
+// ---------------------------------------------------------------------------
+// Trace document
+// ---------------------------------------------------------------------------
+
+/// One completed span: a named wall-time interval in the span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Registry-unique id (1-based, in creation order).
+    pub id: u64,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `"similarity"`, `"transe.epoch"`).
+    pub name: String,
+    /// Start offset from the registry epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall time, in nanoseconds.
+    pub duration_ns: u64,
+    /// Auxiliary heap bytes attributed to this span.
+    pub bytes: u64,
+}
+
+crate::impl_json_struct!(SpanRecord {
+    id,
+    parent,
+    name,
+    start_ns,
+    duration_ns,
+    bytes,
+});
+
+impl SpanRecord {
+    /// The span's wall time as a [`Duration`].
+    pub fn duration(&self) -> Duration {
+        Duration::from_nanos(self.duration_ns)
+    }
+}
+
+/// One named monotonic counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counter {
+    /// Counter name (e.g. `"grid.heartbeat"`).
+    pub name: String,
+    /// Final value.
+    pub value: u64,
+}
+
+crate::impl_json_struct!(Counter { name, value });
+
+/// One log-scale histogram: power-of-two buckets plus exact summary stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Histogram name (e.g. `"sinkhorn.col_dev"`).
+    pub name: String,
+    /// Total number of samples (including non-finite ones).
+    pub count: u64,
+    /// Sum of the finite samples.
+    pub sum: f64,
+    /// Smallest finite sample (0 when none).
+    pub min: f64,
+    /// Largest finite sample (0 when none).
+    pub max: f64,
+    /// Sparse `(bucket_exponent, count)` pairs, ascending by exponent;
+    /// bucket `b` covers `[2^b, 2^(b+1))` and [`UNDERFLOW_BUCKET`] collects
+    /// zero/negative/NaN samples.
+    pub buckets: Vec<(i32, u64)>,
+}
+
+crate::impl_json_struct!(Histogram {
+    name,
+    count,
+    sum,
+    min,
+    max,
+    buckets,
+});
+
+impl Histogram {
+    /// Mean of the finite samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A complete exported trace: span tree plus metric tables. This is the
+/// JSON wire format written by the CLI's `--trace` flag and read back by
+/// the `trace` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Wire-format version ([`TRACE_VERSION`]).
+    pub version: u64,
+    /// Completed spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counters, sorted by name.
+    pub counters: Vec<Counter>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<Histogram>,
+}
+
+crate::impl_json_struct!(Trace {
+    version,
+    spans,
+    counters,
+    histograms,
+});
+
+impl Trace {
+    /// First span with the given name, if any.
+    pub fn span(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// All spans with the given name.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Direct children of the span with id `parent`.
+    pub fn children(&self, parent: u64) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(parent))
+            .collect()
+    }
+
+    /// Root spans (no parent).
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// Final value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// A histogram by name, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the span tree plus metric tables as indented text — the
+    /// human view printed by the CLI `trace` subcommand.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace v{}: {} spans, {} counters, {} histograms",
+            self.version,
+            self.spans.len(),
+            self.counters.len(),
+            self.histograms.len()
+        );
+        // Pre-sort children by start offset for a stable, readable tree.
+        let mut order: Vec<usize> = (0..self.spans.len()).collect();
+        order.sort_by_key(|&i| self.spans[i].start_ns);
+        fn walk(trace: &Trace, order: &[usize], parent: Option<u64>, depth: usize, out: &mut String) {
+            use std::fmt::Write;
+            for &i in order {
+                let s = &trace.spans[i];
+                if s.parent != parent {
+                    continue;
+                }
+                let ms = s.duration_ns as f64 / 1e6;
+                let _ = write!(out, "{:indent$}{}  {ms:.3}ms", "", s.name, indent = depth * 2);
+                if s.bytes > 0 {
+                    let _ = write!(out, "  ({:.1} MB)", s.bytes as f64 / 1e6);
+                }
+                out.push('\n');
+                walk(trace, order, Some(s.id), depth + 1, out);
+            }
+        }
+        walk(self, &order, None, 0, &mut out);
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for c in &self.counters {
+                let _ = writeln!(out, "  {} = {}", c.name, c.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {}: n={} mean={:.6} min={:.6} max={:.6}",
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let t = Telemetry::new();
+        {
+            let mut s = t.span("noop");
+            s.add_bytes(10);
+            assert!(s.id().is_none());
+            let d = s.finish();
+            // Durations still flow to callers when disabled.
+            assert!(d.as_nanos() > 0);
+        }
+        t.add("c", 3);
+        t.observe("h", 1.0);
+        let trace = t.snapshot();
+        assert!(trace.spans.is_empty());
+        assert!(trace.counters.is_empty());
+        assert!(trace.histograms.is_empty());
+    }
+
+    #[test]
+    fn span_nesting_follows_thread_stack() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        {
+            let outer = t.span("outer");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = t.span("inner");
+                assert_ne!(inner.id(), Some(outer_id));
+            }
+            let sibling = t.span("sibling");
+            drop(sibling);
+        }
+        let root = t.span("root2");
+        drop(root);
+        let trace = t.snapshot();
+        let outer = trace.span("outer").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(trace.span("inner").unwrap().parent, Some(outer.id));
+        assert_eq!(trace.span("sibling").unwrap().parent, Some(outer.id));
+        assert_eq!(trace.span("root2").unwrap().parent, None);
+        assert_eq!(trace.children(outer.id).len(), 2);
+        assert_eq!(trace.roots().len(), 2);
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        t.add("rounds", 1);
+        t.add("rounds", 4);
+        for v in [0.5, 1.0, 1.5, 2.0, 0.0, f64::NAN] {
+            t.observe("dev", v);
+        }
+        let trace = t.snapshot();
+        assert_eq!(trace.counter("rounds"), Some(5));
+        let h = trace.histogram("dev").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 2.0);
+        // sum skips only non-finite samples: 0.5+1+1.5+2+0 = 5.
+        assert!((h.sum - 5.0).abs() < 1e-12);
+        // Buckets: -1 -> {0.5}, 0 -> {1.0, 1.5}, 1 -> {2.0},
+        // underflow -> {0.0, NaN}.
+        let get = |b: i32| h.buckets.iter().find(|&&(e, _)| e == b).map(|&(_, c)| c);
+        assert_eq!(get(-1), Some(1));
+        assert_eq!(get(0), Some(2));
+        assert_eq!(get(1), Some(1));
+        assert_eq!(get(UNDERFLOW_BUCKET), Some(2));
+    }
+
+    #[test]
+    fn log2_bucket_edges() {
+        assert_eq!(log2_bucket(1.0), 0);
+        assert_eq!(log2_bucket(1.999), 0);
+        assert_eq!(log2_bucket(2.0), 1);
+        assert_eq!(log2_bucket(0.25), -2);
+        assert_eq!(log2_bucket(0.0), UNDERFLOW_BUCKET);
+        assert_eq!(log2_bucket(-4.0), UNDERFLOW_BUCKET);
+        assert_eq!(log2_bucket(f64::NAN), UNDERFLOW_BUCKET);
+        assert_eq!(log2_bucket(f64::INFINITY), UNDERFLOW_BUCKET);
+    }
+
+    #[test]
+    fn finish_returns_duration_and_records_bytes() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        let mut s = t.span("stage");
+        s.add_bytes(1000);
+        s.add_bytes(24);
+        let d = s.finish();
+        let trace = t.snapshot();
+        let rec = trace.span("stage").unwrap();
+        assert_eq!(rec.duration_ns, d.as_nanos() as u64);
+        assert_eq!(rec.bytes, 1024);
+        assert_eq!(rec.duration(), d);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        drop(t.span("a"));
+        t.add("c", 1);
+        t.observe("h", 1.0);
+        t.reset();
+        let trace = t.snapshot();
+        assert!(trace.spans.is_empty() && trace.counters.is_empty() && trace.histograms.is_empty());
+        assert!(t.is_enabled(), "reset must not flip the enabled switch");
+    }
+
+    #[test]
+    fn render_shows_tree_and_metrics() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        {
+            let _p = t.span("pipeline");
+            drop(t.span("similarity"));
+        }
+        t.add("cells", 2);
+        t.observe("loss", 0.5);
+        let text = t.snapshot().render();
+        assert!(text.contains("pipeline"));
+        assert!(text.contains("  similarity"), "child must be indented: {text}");
+        assert!(text.contains("cells = 2"));
+        assert!(text.contains("loss: n=1"));
+    }
+}

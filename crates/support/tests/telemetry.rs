@@ -1,0 +1,124 @@
+//! Integration tests for the telemetry layer: JSON wire-shape stability
+//! and thread-safety of the registry under concurrent recording.
+
+use entmatcher_support::json::{to_string_pretty, ToJson};
+use entmatcher_support::telemetry::{SpanGuard, Telemetry, Trace};
+
+/// Builds a small but fully-featured trace on a standalone registry:
+/// nested spans with byte attribution, counters, and histograms.
+fn sample_trace() -> Trace {
+    let t = Telemetry::new();
+    t.set_enabled(true);
+    {
+        let mut root = t.span("pipeline");
+        root.add_bytes(1024);
+        {
+            let mut child = t.span("similarity");
+            child.add_bytes(4096);
+        }
+        let _other = t.span("optimize");
+    }
+    t.add("sinkhorn.iterations", 100);
+    t.add("grid.heartbeat", 3);
+    t.observe("sinkhorn.col_dev", 0.5);
+    t.observe("sinkhorn.col_dev", 0.003);
+    t.observe("transe.loss", 12.25);
+    t.snapshot()
+}
+
+#[test]
+fn golden_json_round_trip() {
+    let trace = sample_trace();
+    assert_eq!(trace.spans.len(), 3);
+    assert_eq!(trace.counters.len(), 2);
+    assert_eq!(trace.histograms.len(), 2);
+
+    // trace -> json text -> parsed json -> trace must be the identity.
+    let text = to_string_pretty(&trace);
+    let back: Trace = entmatcher_support::json::from_str(&text).expect("trace parses");
+    assert_eq!(back, trace);
+
+    // Wire-shape guarantees consumers rely on: top-level version and the
+    // three sections, span records keyed by stable field names.
+    let json = trace.to_json();
+    assert_eq!(json.field::<u64>("version").unwrap(), 1);
+    let spans = json.get("spans").and_then(|s| s.as_array()).expect("spans");
+    for key in ["id", "parent", "name", "start_ns", "duration_ns", "bytes"] {
+        assert!(spans[0].get(key).is_some(), "span field {key} missing");
+    }
+    let hists = json
+        .get("histograms")
+        .and_then(|h| h.as_array())
+        .expect("histograms");
+    for key in ["name", "count", "sum", "min", "max", "buckets"] {
+        assert!(hists[0].get(key).is_some(), "histogram field {key} missing");
+    }
+}
+
+#[test]
+fn parent_links_survive_round_trip() {
+    let trace = sample_trace();
+    let text = to_string_pretty(&trace);
+    let back: Trace = entmatcher_support::json::from_str(&text).unwrap();
+    let root = back.span("pipeline").expect("root span");
+    assert!(root.parent.is_none());
+    let children = back.children(root.id);
+    assert_eq!(children.len(), 2);
+    assert!(children.iter().any(|s| s.name == "similarity"));
+    // Bytes attribution: the root's own bytes, not its children's.
+    assert_eq!(root.bytes, 1024);
+    assert_eq!(back.span("similarity").unwrap().bytes, 4096);
+}
+
+#[test]
+fn concurrent_recording_loses_no_events() {
+    const THREADS: usize = 8;
+    const SPANS_PER_THREAD: usize = 50;
+    let t = Telemetry::new();
+    t.set_enabled(true);
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let t = &t;
+            scope.spawn(move || {
+                for i in 0..SPANS_PER_THREAD {
+                    let mut span: SpanGuard<'_> = t.span("work");
+                    span.add_bytes(1);
+                    t.add("events", 1);
+                    t.observe("latency", (worker * SPANS_PER_THREAD + i) as f64 + 1.0);
+                }
+            });
+        }
+    });
+    let trace = t.snapshot();
+    let spans: Vec<_> = trace.spans_named("work").collect();
+    assert_eq!(spans.len(), THREADS * SPANS_PER_THREAD, "lost span records");
+    // Fresh threads have no open parent: every span must be a root.
+    assert!(spans.iter().all(|s| s.parent.is_none()));
+    assert_eq!(
+        trace.counter("events"),
+        Some((THREADS * SPANS_PER_THREAD) as u64),
+        "lost counter increments"
+    );
+    let hist = trace.histogram("latency").expect("latency histogram");
+    assert_eq!(hist.count, (THREADS * SPANS_PER_THREAD) as u64);
+    assert_eq!(hist.min, 1.0);
+    assert_eq!(hist.max, (THREADS * SPANS_PER_THREAD) as f64);
+    let total: u64 = hist.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(total, hist.count, "bucket counts must cover every sample");
+}
+
+#[test]
+fn disabled_registry_records_nothing_but_still_times() {
+    let t = Telemetry::new();
+    assert!(!t.is_enabled());
+    let span = t.span("ignored");
+    let d = span.finish();
+    t.add("ignored", 1);
+    t.observe("ignored", 1.0);
+    // finish() still returns a measured duration for report fields.
+    assert!(d.as_nanos() < u64::MAX as u128);
+    let trace = t.snapshot();
+    assert!(trace.spans.is_empty());
+    assert!(trace.counters.is_empty());
+    assert!(trace.histograms.is_empty());
+}

@@ -16,5 +16,37 @@ cd "$(dirname "$0")/.."
 
 export ENTMATCHER_BENCH_QUICK=1
 
-cargo build --release --offline --workspace --benches
+# --benches/--bins replace (not extend) cargo's default target selection:
+# both are listed so the bench targets AND the entmatcher binary (needed by
+# the smoke test below) are built.
+cargo build --release --offline --workspace --bins --benches
 cargo test -q --offline --workspace
+
+# Telemetry smoke test: run a small end-to-end match with --trace and
+# check the exported JSON parses and contains the pipeline stage spans.
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+ENTMATCHER="target/release/entmatcher"
+"$ENTMATCHER" generate --preset S-W --scale 0.02 --out "$SMOKE/data" >/dev/null
+"$ENTMATCHER" encode --data "$SMOKE/data" --encoder name --out "$SMOKE/emb" >/dev/null
+"$ENTMATCHER" match --data "$SMOKE/data" --embeddings "$SMOKE/emb" \
+    --algorithm csls --trace "$SMOKE/trace.json" --out "$SMOKE/pairs.tsv" >/dev/null
+RENDERED=$("$ENTMATCHER" trace --file "$SMOKE/trace.json")
+for span in pipeline similarity optimize match; do
+    echo "$RENDERED" | grep -q "$span" || {
+        echo "verify: $span span missing from trace" >&2
+        exit 1
+    }
+done
+# The pad span needs an unbalanced candidate set + dummy padding: DBP15K+
+# has asymmetric unmatchables, so Hungarian with --dummies pads.
+"$ENTMATCHER" generate --preset DBP+ --scale 0.02 --out "$SMOKE/plus" >/dev/null
+"$ENTMATCHER" encode --data "$SMOKE/plus" --encoder name --out "$SMOKE/plus-emb" >/dev/null
+"$ENTMATCHER" match --data "$SMOKE/plus" --embeddings "$SMOKE/plus-emb" \
+    --algorithm hungarian --dummies --trace "$SMOKE/trace-pad.json" \
+    --out "$SMOKE/pairs-pad.tsv" >/dev/null
+"$ENTMATCHER" trace --file "$SMOKE/trace-pad.json" | grep -q "pad" || {
+    echo "verify: pad span missing from padded trace" >&2
+    exit 1
+}
+echo "verify: telemetry smoke test passed"
