@@ -1,0 +1,207 @@
+//! Similarity-kernel benchmark: naive vs blocked GEMM vs fused top-k.
+//!
+//! Unlike the wall-clock microbenches, this target emits a machine-readable
+//! artifact — `BENCH_kernels.json` — recording GFLOP/s and wall time for
+//! every (kernel, n, d) configuration, so the perf trajectory of the
+//! similarity hot path is tracked in-repo. The JSON is self-checked after
+//! writing: the run fails if it does not parse back or if the naive /
+//! blocked entries are missing.
+//!
+//! Modes:
+//! * default — 2k and 10k entities, dims 64/128/300 (dense kernels at 2k,
+//!   all kernels at 10k/d=128);
+//! * `--full` — adds a 30k-entity fused-only configuration (the dense
+//!   output matrix alone would be 3.6 GB, which is exactly the point of
+//!   the fused kernel);
+//! * `ENTMATCHER_BENCH_QUICK=1` / `--test` / `--quick` — CI smoke: one
+//!   tiny configuration, still exercising measurement, JSON write and
+//!   self-check.
+//!
+//! Output path: `ENTMATCHER_KERNEL_BENCH_OUT` if set; otherwise
+//! `BENCH_kernels.json` in the workspace root (quick mode defaults into
+//! the temp dir so `cargo test` runs do not dirty the tree).
+
+use entmatcher_linalg::{fused_topk, matmul_blocked, matmul_naive, Matrix};
+use entmatcher_support::json::{self, Json, Map, ToJson};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured configuration.
+struct Entry {
+    kernel: &'static str,
+    m: usize,
+    n: usize,
+    d: usize,
+    seconds: f64,
+    gflops: f64,
+    reps: u32,
+}
+
+impl ToJson for Entry {
+    fn to_json(&self) -> Json {
+        let mut map = Map::new();
+        map.insert("kernel", self.kernel);
+        map.insert("m", self.m);
+        map.insert("n", self.n);
+        map.insert("d", self.d);
+        map.insert("seconds", self.seconds);
+        map.insert("gflops", self.gflops);
+        map.insert("reps", self.reps);
+        Json::Obj(map)
+    }
+}
+
+fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() - 0.5)
+}
+
+/// Times `body` with adaptive repetitions: at least one rep, and more
+/// (up to `max_reps`) until the measurement exceeds ~0.3 s, so tiny
+/// configurations are not noise-dominated while 10k+ ones run once.
+fn measure(max_reps: u32, mut body: impl FnMut()) -> (f64, u32) {
+    let mut reps = 0u32;
+    let start = Instant::now();
+    loop {
+        body();
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if reps >= max_reps || elapsed > 0.3 {
+            return (elapsed / reps as f64, reps);
+        }
+    }
+}
+
+fn bench_config(
+    entries: &mut Vec<Entry>,
+    n: usize,
+    d: usize,
+    dense: bool,
+    fused_k: usize,
+    max_reps: u32,
+) {
+    let a = random_embeddings(n, d, 0xA5);
+    let b = random_embeddings(n, d, 0x5A);
+    // One multiply + one add per (i, j, d) triple.
+    let flops = 2.0 * (n as f64) * (n as f64) * (d as f64);
+    if dense {
+        let (secs, reps) = measure(max_reps, || {
+            black_box(matmul_naive(&a, &b).unwrap());
+        });
+        entries.push(Entry {
+            kernel: "naive",
+            m: n,
+            n,
+            d,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            reps,
+        });
+        eprintln!("kernels: naive   n={n} d={d}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
+        let (secs, reps) = measure(max_reps, || {
+            black_box(matmul_blocked(&a, &b).unwrap());
+        });
+        entries.push(Entry {
+            kernel: "blocked",
+            m: n,
+            n,
+            d,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            reps,
+        });
+        eprintln!("kernels: blocked n={n} d={d}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
+    }
+    let (secs, reps) = measure(max_reps, || {
+        black_box(fused_topk(&a, &b, fused_k).unwrap());
+    });
+    entries.push(Entry {
+        kernel: "fused_topk",
+        m: n,
+        n,
+        d,
+        seconds: secs,
+        gflops: flops / secs / 1e9,
+        reps,
+    });
+    eprintln!("kernels: fused   n={n} d={d} k={fused_k}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = std::env::var("ENTMATCHER_BENCH_QUICK").ok().as_deref() == Some("1")
+        || args.iter().any(|a| a == "--test" || a == "--quick");
+    let full = args.iter().any(|a| a == "--full");
+
+    let out_path = std::env::var("ENTMATCHER_KERNEL_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            if quick {
+                std::env::temp_dir().join("BENCH_kernels.json")
+            } else {
+                // cargo runs bench targets with CWD = package dir; the
+                // canonical artifact lives in the workspace root.
+                let root = std::env::var("CARGO_MANIFEST_DIR")
+                    .map(|p| {
+                        std::path::Path::new(&p)
+                            .ancestors()
+                            .nth(2)
+                            .expect("workspace root")
+                            .to_path_buf()
+                    })
+                    .unwrap_or_else(|_| std::path::PathBuf::from("."));
+                root.join("BENCH_kernels.json")
+            }
+        });
+
+    let mut entries = Vec::new();
+    if quick {
+        bench_config(&mut entries, 256, 64, true, 10, 3);
+    } else {
+        bench_config(&mut entries, 2000, 64, true, 10, 5);
+        bench_config(&mut entries, 2000, 128, true, 10, 5);
+        bench_config(&mut entries, 2000, 300, true, 10, 5);
+        // The acceptance configuration: 10k x 10k, d = 128.
+        bench_config(&mut entries, 10_000, 128, true, 10, 2);
+        if full {
+            // Dense would materialize a 30k x 30k (3.6 GB) matrix; only
+            // the fused kernel runs at this scale.
+            bench_config(&mut entries, 30_000, 128, false, 10, 1);
+        }
+    }
+
+    let mut doc = Map::new();
+    doc.insert("schema", "entmatcher/kernel-bench/v1");
+    doc.insert(
+        "note",
+        "flops = 2*m*n*d per pass; fused_topk includes the top-k reduction",
+    );
+    doc.insert("threads", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    doc.insert("quick", quick);
+    doc.insert("entries", &entries);
+    let text = Json::Obj(doc).pretty();
+    std::fs::write(&out_path, &text).expect("write BENCH_kernels.json");
+
+    // Self-check: the artifact must parse back and contain both dense
+    // kernels (the perf comparison the repo tracks) with finite numbers.
+    let parsed = json::Json::parse(&text).expect("BENCH_kernels.json must parse");
+    let entries_json = parsed
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .expect("entries array");
+    for kernel in ["naive", "blocked"] {
+        let found = entries_json.iter().any(|e| {
+            e.get("kernel").and_then(|k| k.as_str()) == Some(kernel)
+                && e.get("gflops")
+                    .and_then(|g| g.as_f64())
+                    .is_some_and(|g| g.is_finite() && g > 0.0)
+        });
+        assert!(found, "self-check: no valid '{kernel}' entry in artifact");
+    }
+    println!(
+        "kernels bench: wrote {} ({} entries, self-check ok)",
+        out_path.display(),
+        entries_json.len()
+    );
+}

@@ -12,7 +12,7 @@
 
 use super::ScoreOptimizer;
 use entmatcher_linalg::parallel::{par_map_rows, par_row_chunks_mut};
-use entmatcher_linalg::rank::top_k_mean;
+use entmatcher_linalg::rank::{col_top_k_means, top_k_mean};
 use entmatcher_linalg::Matrix;
 use entmatcher_support::telemetry;
 
@@ -43,11 +43,10 @@ impl ScoreOptimizer for Csls {
         }
         // phi_s: per-source mean of top-k scores (row-wise).
         let phi_s: Vec<f32> = par_map_rows(n_s, |i| top_k_mean(scores.row(i), self.k));
-        // phi_t: per-target mean of top-k scores (column-wise). Transpose
-        // once so the k-selection runs over contiguous rows.
-        let transposed = scores.transposed();
-        let phi_t: Vec<f32> = par_map_rows(n_t, |j| top_k_mean(transposed.row(j), self.k));
-        drop(transposed);
+        // phi_t: per-target mean of top-k scores (column-wise). Streamed
+        // into per-column bounded heaps in parallel over column blocks —
+        // no n_t x n_s transposed copy is allocated.
+        let phi_t: Vec<f32> = col_top_k_means(&scores, self.k);
         telemetry::add("csls.neighborhoods", (n_s + n_t) as u64);
 
         let phi_s_ref = &phi_s;
@@ -64,8 +63,10 @@ impl ScoreOptimizer for Csls {
     }
 
     fn aux_bytes(&self, n_s: usize, n_t: usize) -> usize {
-        // Transposed copy for column-wise top-k, plus the two phi vectors.
-        n_s * n_t * 4 + (n_s + n_t) * 4
+        // Per-column bounded heaps for the target-side pass, plus the two
+        // phi vectors. Linear in n — the former n_s * n_t transposed copy
+        // is gone (the column pass streams the matrix in place).
+        n_t * self.k * 8 + (n_s + n_t) * 4
     }
 }
 
@@ -118,9 +119,18 @@ mod tests {
     }
 
     #[test]
-    fn aux_bytes_scales_quadratically() {
+    fn aux_bytes_scales_linearly_not_quadratically() {
+        // The column pass streams the score matrix in place, so the
+        // auxiliary footprint grows linearly with n (it used to carry an
+        // n x n transposed copy).
         let c = Csls::default();
-        assert!(c.aux_bytes(1000, 1000) > c.aux_bytes(100, 100) * 50);
+        let small = c.aux_bytes(100, 100);
+        let large = c.aux_bytes(1000, 1000);
+        assert!(large > small, "still grows with n");
+        assert!(
+            large <= small * 11,
+            "10x entities must not cost ~100x memory: {large} vs {small}"
+        );
     }
 }
 

@@ -12,7 +12,7 @@
 
 use super::ScoreOptimizer;
 use entmatcher_linalg::parallel::{par_map_rows, par_row_chunks_mut};
-use entmatcher_linalg::rank::{rank_desc, top_k_desc};
+use entmatcher_linalg::rank::{col_maxes, rank_desc, top_k_desc};
 use entmatcher_linalg::Matrix;
 use entmatcher_support::telemetry;
 
@@ -53,7 +53,8 @@ impl ScoreOptimizer for RInf {
             return scores;
         }
         // Row maxima (best source per target uses column maxima; best
-        // target per source uses row maxima).
+        // target per source uses row maxima). The column maxima stream the
+        // matrix over column blocks — no transposed copy just for maxima.
         let row_max: Vec<f32> = par_map_rows(n_s, |i| {
             scores
                 .row(i)
@@ -61,19 +62,15 @@ impl ScoreOptimizer for RInf {
                 .copied()
                 .fold(f32::NEG_INFINITY, f32::max)
         });
-        let transposed = scores.transposed();
-        let col_max: Vec<f32> = par_map_rows(n_t, |j| {
-            transposed
-                .row(j)
-                .iter()
-                .copied()
-                .fold(f32::NEG_INFINITY, f32::max)
-        });
+        let col_max: Vec<f32> = col_maxes(&scores);
 
         // P_{s,t}(u,v) = S(u,v) - col_max[v] + 1  (preference of u for v)
         // P_{t,s}(v,u) = S(u,v) - row_max[u] + 1  (preference of v for u)
         let mut out = Matrix::zeros(n_s, n_t);
         if self.ranking {
+            // The ranking conversion genuinely needs contiguous columns
+            // (per-target rankings), so the full variant still transposes.
+            let transposed = scores.transposed();
             // R_{s,t}: rank P_{s,t} within each source row.
             let col_max_ref = &col_max;
             let scores_ref = &scores;
@@ -150,8 +147,8 @@ impl ScoreOptimizer for RInf {
             // Transposed S, two rank matrices, one transposed rank matrix.
             4 * cell + (n_s + n_t) * 4
         } else {
-            // Transposed S only.
-            cell + (n_s + n_t) * 4
+            // Max vectors only — the wr variant no longer transposes.
+            (n_s + n_t) * 4
         }
     }
 }
@@ -185,7 +182,6 @@ impl ScoreOptimizer for RInfProgressive {
         if n_s == 0 || n_t == 0 {
             return scores;
         }
-        let transposed = scores.transposed();
         let row_max: Vec<f32> = par_map_rows(n_s, |i| {
             scores
                 .row(i)
@@ -193,13 +189,7 @@ impl ScoreOptimizer for RInfProgressive {
                 .copied()
                 .fold(f32::NEG_INFINITY, f32::max)
         });
-        let col_max: Vec<f32> = par_map_rows(n_t, |j| {
-            transposed
-                .row(j)
-                .iter()
-                .copied()
-                .fold(f32::NEG_INFINITY, f32::max)
-        });
+        let col_max: Vec<f32> = col_maxes(&scores);
 
         // Out-of-shortlist sentinel: worse than any shortlist rank.
         let sentinel = -(self.block as f32 + n_t as f32);
@@ -236,8 +226,9 @@ impl ScoreOptimizer for RInfProgressive {
     }
 
     fn aux_bytes(&self, n_s: usize, n_t: usize) -> usize {
-        // Transposed S plus per-row shortlists.
-        n_s * n_t * 4 + n_s * self.block * 8 + (n_s + n_t) * 4
+        // Per-row shortlists and max vectors; the transposed copy is gone
+        // (column maxima stream the matrix in place).
+        n_s * self.block * 8 + (n_s + n_t) * 4
     }
 }
 

@@ -71,9 +71,16 @@ pub fn similarity_matrix(source: &Matrix, target: &Matrix, metric: SimilarityMet
 
 fn pairwise(source: &Matrix, target: &Matrix, f: impl Fn(&[f32], &[f32]) -> f32 + Sync) -> Matrix {
     let (m, n) = (source.rows(), target.rows());
+    if n == 0 || m == 0 {
+        // Explicit degenerate case: the chunked loop below would be handed
+        // an empty buffer with a fudged row width (`n.max(1)`) and silently
+        // produce no rows; return the empty `m x 0` / `0 x n` matrix
+        // directly instead of relying on that coincidence.
+        return Matrix::zeros(m, n);
+    }
     let mut out = Matrix::zeros(m, n);
-    par_row_chunks_mut(out.as_mut_slice(), n.max(1), |start_row, chunk| {
-        for (local, out_row) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+    par_row_chunks_mut(out.as_mut_slice(), n, |start_row, chunk| {
+        for (local, out_row) in chunk.chunks_exact_mut(n).enumerate() {
             let a = source.row(start_row + local);
             for (j, slot) in out_row.iter_mut().enumerate() {
                 *slot = f(a, target.row(j));
@@ -154,6 +161,29 @@ mod tests {
         let a = Matrix::zeros(1, 2);
         let b = Matrix::zeros(1, 3);
         similarity_matrix(&a, &b, SimilarityMetric::Cosine);
+    }
+
+    #[test]
+    fn zero_target_rows_yield_explicit_empty_matrix() {
+        // Regression: `pairwise` used to feed `chunks_exact_mut(n.max(1))`
+        // an empty buffer when n == 0 and only produced the right shape by
+        // accident. The degenerate sides must be explicit m x 0 / 0 x n
+        // matrices for every metric.
+        let src = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        let no_targets = Matrix::zeros(0, 4);
+        let no_sources = Matrix::zeros(0, 4);
+        for metric in [
+            SimilarityMetric::Cosine,
+            SimilarityMetric::Euclidean,
+            SimilarityMetric::Manhattan,
+        ] {
+            let s = similarity_matrix(&src, &no_targets, metric);
+            assert_eq!(s.shape(), (3, 0), "{}", metric.name());
+            assert_eq!(s.rows(), 3);
+            assert!(s.is_empty());
+            let t = similarity_matrix(&no_sources, &src, metric);
+            assert_eq!(t.shape(), (0, 3), "{}", metric.name());
+        }
     }
 
     #[test]

@@ -13,20 +13,43 @@
 //!   accumulates both sides' top-k statistics with bounded per-entity
 //!   heaps, the second applies the CSLS correction on the fly.
 //!
+//! For cosine similarity both route through the **fused
+//! similarity -> reduction kernels** in `entmatcher_linalg::fused`: score
+//! tiles come straight out of the register-tiled GEMM micro-kernel and are
+//! reduced before the next tile is computed, so no strip of the score
+//! matrix is ever materialized at all. The distance metrics keep the
+//! strip-at-a-time loop (their pairwise kernels are not products).
+//!
 //! Both produce *bit-identical decisions* to their dense counterparts
-//! (asserted by tests), trading one extra similarity computation pass for
-//! an O(n^2) -> O(n·k + b·n) memory drop.
+//! (asserted by tests): the fused tiles reuse the exact d-sequential
+//! accumulation of the dense kernel, the bounded heaps report means in the
+//! same canonical order as `top_k_mean`, and the CSLS correction is
+//! evaluated in the same operation order.
 
 use crate::matching::Matching;
 use crate::similarity::{similarity_matrix, SimilarityMetric};
-use entmatcher_linalg::Matrix;
+use entmatcher_linalg::fused::{fused_argmax_affine, fused_topk_means, TopKAccumulator};
+use entmatcher_linalg::{normalize_rows_l2, Matrix};
+use entmatcher_support::telemetry;
 
 /// Default target-block width (rows of the similarity strip computed at
-/// once). Bigger blocks amortize the pass overhead; memory is `b * n_s`.
+/// once by the non-cosine paths). Bigger blocks amortize the pass
+/// overhead; memory is `b * n_s`.
 pub const DEFAULT_BLOCK: usize = 1024;
 
-/// Greedy matching without materializing the score matrix: iterates target
-/// blocks, updating each source's best candidate. Memory: O(n_s + block·d).
+/// L2-normalized copies of both sides, shared by the fused cosine paths.
+fn normalized_pair(source: &Matrix, target: &Matrix) -> (Matrix, Matrix) {
+    let mut s = source.clone();
+    let mut t = target.clone();
+    normalize_rows_l2(&mut s);
+    normalize_rows_l2(&mut t);
+    (s, t)
+}
+
+/// Greedy matching without materializing the score matrix. Cosine streams
+/// through the fused argmax kernel (tile-level fusion, `block` is not
+/// needed); distance metrics iterate target blocks updating each source's
+/// best candidate. Memory: O(n_s + block·d).
 pub fn streaming_greedy(
     source: &Matrix,
     target: &Matrix,
@@ -34,6 +57,17 @@ pub fn streaming_greedy(
     block: usize,
 ) -> Matching {
     assert!(block > 0, "block size must be positive");
+    assert_eq!(
+        source.cols(),
+        target.cols(),
+        "source and target embeddings must share a dimensionality"
+    );
+    if metric == SimilarityMetric::Cosine {
+        telemetry::add("fused.dispatch.greedy", 1);
+        let (s, t) = normalized_pair(source, target);
+        let picks = fused_argmax_affine(&s, &t, 1.0, None, None).expect("dims checked above");
+        return Matching::new(picks);
+    }
     let n_s = source.rows();
     let n_t = target.rows();
     let mut best: Vec<(Option<u32>, f32)> = vec![(None, f32::NEG_INFINITY); n_s];
@@ -55,52 +89,13 @@ pub fn streaming_greedy(
     Matching::new(best.into_iter().map(|(j, _)| j).collect())
 }
 
-/// Bounded top-k accumulator: keeps the k largest values seen.
-#[derive(Debug, Clone)]
-struct TopK {
-    k: usize,
-    values: Vec<f32>, // unsorted, len <= k; values[min_idx] is the smallest
-}
-
-impl TopK {
-    fn new(k: usize) -> Self {
-        TopK {
-            k,
-            values: Vec::with_capacity(k),
-        }
-    }
-
-    fn push(&mut self, v: f32) {
-        if self.values.len() < self.k {
-            self.values.push(v);
-            return;
-        }
-        // Replace the current minimum if beaten.
-        let (mi, &mv) = self
-            .values
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("non-empty");
-        if v > mv {
-            self.values[mi] = v;
-        }
-    }
-
-    fn mean(&self) -> f32 {
-        if self.values.is_empty() {
-            0.0
-        } else {
-            self.values.iter().sum::<f32>() / self.values.len() as f32
-        }
-    }
-}
-
 /// CSLS + Greedy without materializing the score matrix.
 ///
-/// Pass 1 streams target blocks accumulating each side's top-k statistics;
-/// pass 2 streams again applying `2S - phi_s - phi_t` and tracking the
-/// per-source argmax. Decisions equal the dense `Csls{k}` + `Greedy` path.
+/// Cosine: both neighbourhood passes and the decision pass run on the
+/// fused kernels — phi vectors stream out of per-row bounded heaps, and
+/// the corrected argmax streams out of the affine-argmax kernel. Distance
+/// metrics: two strip-at-a-time passes as before. Decisions equal the
+/// dense `Csls{k}` + `Greedy` path bit for bit.
 pub fn streaming_csls(
     source: &Matrix,
     target: &Matrix,
@@ -110,14 +105,34 @@ pub fn streaming_csls(
 ) -> Matching {
     assert!(k >= 1, "CSLS requires k >= 1");
     assert!(block > 0, "block size must be positive");
+    assert_eq!(
+        source.cols(),
+        target.cols(),
+        "source and target embeddings must share a dimensionality"
+    );
     let n_s = source.rows();
     let n_t = target.rows();
     if n_s == 0 || n_t == 0 {
         return Matching::new(vec![None; n_s]);
     }
+    if metric == SimilarityMetric::Cosine {
+        telemetry::add("fused.dispatch.csls", 1);
+        let (s, t) = normalized_pair(source, target);
+        // phi_u: per-source mean of the k best targets; phi_v: per-target
+        // mean of the k best sources (the same product, transposed roles).
+        let phi_s = fused_topk_means(&s, &t, k).expect("dims checked above");
+        let phi_t = fused_topk_means(&t, &s, k).expect("dims checked above");
+        let neg_s: Vec<f32> = phi_s.iter().map(|v| -v).collect();
+        let neg_t: Vec<f32> = phi_t.iter().map(|v| -v).collect();
+        // (2s + (-phi_u)) + (-phi_v) — bitwise the dense (2s - phi_u) - phi_v.
+        let picks =
+            fused_argmax_affine(&s, &t, 2.0, Some(&neg_s), Some(&neg_t)).expect("dims checked");
+        return Matching::new(picks);
+    }
+
     // Pass 1: top-k accumulators on both sides.
-    let mut top_s: Vec<TopK> = (0..n_s).map(|_| TopK::new(k)).collect();
-    let mut top_t: Vec<TopK> = (0..n_t).map(|_| TopK::new(k)).collect();
+    let mut top_s: Vec<TopKAccumulator> = (0..n_s).map(|_| TopKAccumulator::new(k)).collect();
+    let mut top_t: Vec<TopKAccumulator> = (0..n_t).map(|_| TopKAccumulator::new(k)).collect();
     let mut start = 0usize;
     while start < n_t {
         let end = (start + block).min(n_t);
@@ -126,14 +141,14 @@ pub fn streaming_csls(
         let scores = similarity_matrix(source, &strip, metric);
         for (i, acc) in top_s.iter_mut().enumerate() {
             for (local, &v) in scores.row(i).iter().enumerate() {
-                acc.push(v);
-                top_t[start + local].push(v);
+                acc.push((start + local) as u32, v);
+                top_t[start + local].push(i as u32, v);
             }
         }
         start = end;
     }
-    let phi_s: Vec<f32> = top_s.iter().map(TopK::mean).collect();
-    let phi_t: Vec<f32> = top_t.iter().map(TopK::mean).collect();
+    let phi_s: Vec<f32> = top_s.iter().map(TopKAccumulator::mean).collect();
+    let phi_t: Vec<f32> = top_t.iter().map(TopKAccumulator::mean).collect();
 
     // Pass 2: argmax of the corrected scores.
     let mut best: Vec<(Option<u32>, f32)> = vec![(None, f32::NEG_INFINITY); n_s];
@@ -158,9 +173,10 @@ pub fn streaming_csls(
 
 /// Peak auxiliary bytes of the streaming kernels for an `n_s x n_t`
 /// instance — the number the scalability experiment compares against the
-/// dense pipelines' O(n^2).
+/// dense pipelines' O(n^2). The fused cosine path's footprint (normalized
+/// copies + heaps + one score tile) is bounded by the same expression.
 pub fn streaming_aux_bytes(n_s: usize, n_t: usize, k: usize, block: usize, dim: usize) -> usize {
-    let strip = block.min(n_t) * n_s * 4; // one similarity strip
+    let strip = block.min(n_t) * n_s * 4; // one similarity strip / tile set
     let heaps = (n_s + n_t) * k * 4;
     let block_rows = block.min(n_t) * dim * 4;
     strip + heaps + block_rows + n_s * 8
@@ -193,6 +209,18 @@ mod tests {
     }
 
     #[test]
+    fn streaming_greedy_matches_dense_for_distance_metrics() {
+        let s = random_embeddings(60, 8, 11);
+        let t = random_embeddings(75, 8, 12);
+        for metric in [SimilarityMetric::Euclidean, SimilarityMetric::Manhattan] {
+            let dense_scores = similarity_matrix(&s, &t, metric);
+            let dense = Greedy.run(&dense_scores, &MatchContext::default());
+            let stream = streaming_greedy(&s, &t, metric, 32);
+            assert_eq!(stream, dense, "{} diverged", metric.name());
+        }
+    }
+
+    #[test]
     fn streaming_csls_matches_dense_csls() {
         let s = random_embeddings(80, 16, 3);
         let t = random_embeddings(110, 16, 4);
@@ -202,6 +230,19 @@ mod tests {
         for block in [13usize, 64, 500] {
             let stream = streaming_csls(&s, &t, SimilarityMetric::Cosine, k, block);
             assert_eq!(stream, dense, "block {block} diverged");
+        }
+    }
+
+    #[test]
+    fn streaming_csls_matches_dense_for_distance_metrics() {
+        let s = random_embeddings(50, 8, 13);
+        let t = random_embeddings(65, 8, 14);
+        let k = 4;
+        for metric in [SimilarityMetric::Euclidean, SimilarityMetric::Manhattan] {
+            let dense_scores = similarity_matrix(&s, &t, metric);
+            let dense = Greedy.run(&Csls { k }.apply(dense_scores), &MatchContext::default());
+            let stream = streaming_csls(&s, &t, metric, k, 32);
+            assert_eq!(stream, dense, "{} diverged", metric.name());
         }
     }
 
@@ -223,17 +264,5 @@ mod tests {
             streaming * 10 < dense,
             "streaming {streaming} vs dense {dense}"
         );
-    }
-
-    #[test]
-    fn topk_accumulator_tracks_largest() {
-        let mut t = TopK::new(3);
-        for v in [0.1, 0.9, 0.3, 0.8, 0.2, 0.7] {
-            t.push(v);
-        }
-        let mut vals = t.values.clone();
-        vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        assert_eq!(vals, vec![0.9, 0.8, 0.7]);
-        assert!((t.mean() - 0.8).abs() < 1e-6);
     }
 }

@@ -4,6 +4,7 @@ use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::parallel::par_row_chunks_mut;
 use crate::Result;
+use entmatcher_support::telemetry;
 
 /// Dot product of two equal-length slices.
 ///
@@ -41,14 +42,35 @@ pub fn normalize_rows_l2(m: &mut Matrix) {
     });
 }
 
+/// Work threshold (`m * n * d` multiply-adds) above which
+/// [`matmul_transposed`] dispatches to the blocked kernel. Below it the
+/// packing overhead outweighs the kernel win.
+const BLOCKED_DISPATCH_FLOPS: usize = 1 << 15;
+
 /// Computes `A * B^T` where `A` is `m x d` and `B` is `n x d`, yielding the
 /// `m x n` matrix of pairwise dot products. This is the workhorse behind
 /// every similarity matrix in the pipeline.
 ///
-/// Parallelized over rows of `A`; the inner loop streams both operands
-/// contiguously (each output element is a dot product of two contiguous
-/// d-length rows), which auto-vectorizes.
+/// Dispatches to the cache-blocked, register-tiled kernel in
+/// [`crate::gemm`] once the instance is large enough to amortize operand
+/// packing; tiny products use the plain per-row loop. Both paths produce
+/// **bit-identical** results (the blocked micro-kernel accumulates the
+/// depth dimension in the same sequential order as [`dot`]), so the
+/// dispatch point is a pure performance decision.
 pub fn matmul_transposed(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() * b.rows() * a.cols().max(1) >= BLOCKED_DISPATCH_FLOPS {
+        telemetry::add("gemm.dispatch.blocked", 1);
+        crate::gemm::matmul_blocked(a, b)
+    } else {
+        telemetry::add("gemm.dispatch.naive", 1);
+        matmul_naive(a, b)
+    }
+}
+
+/// The reference `A * B^T` kernel: one sequential [`dot`] per output
+/// element, parallelized over rows of `A`. Kept as the ground truth the
+/// blocked kernel is tested against, and as the small-instance fast path.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.cols() != b.cols() {
         return Err(LinalgError::DimMismatch {
             op: "matmul_transposed",
@@ -58,10 +80,13 @@ pub fn matmul_transposed(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     }
     let (m, n) = (a.rows(), b.rows());
     let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 {
+        return Ok(out);
+    }
     let a_ref = &a;
     let b_ref = &b;
-    par_row_chunks_mut(out.as_mut_slice(), n.max(1), |start_row, chunk| {
-        for (local, out_row) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+    par_row_chunks_mut(out.as_mut_slice(), n, |start_row, chunk| {
+        for (local, out_row) in chunk.chunks_exact_mut(n).enumerate() {
             let ar = a_ref.row(start_row + local);
             for (j, slot) in out_row.iter_mut().enumerate() {
                 *slot = dot(ar, b_ref.row(j));

@@ -49,12 +49,70 @@ pub fn top_k_desc(row: &[f32], k: usize) -> Vec<usize> {
 }
 
 /// Mean of the `k` largest values in `row` (0.0 for an empty row/k = 0).
+///
+/// Uses a bounded-heap accumulator ([`crate::fused::TopKAccumulator`])
+/// instead of materializing a sorted index vector — O(n lg k) with no
+/// allocation proportional to `n`. The mean sums the retained values in
+/// canonical descending order, so every top-k implementation in the crate
+/// (dense selection, column pass, fused streaming) reports bit-identical
+/// means for the same value multiset.
 pub fn top_k_mean(row: &[f32], k: usize) -> f32 {
-    let idx = top_k_desc(row, k);
-    if idx.is_empty() {
-        return 0.0;
+    let mut acc = crate::fused::TopKAccumulator::new(k);
+    for (i, &v) in row.iter().enumerate() {
+        acc.push(i as u32, v);
     }
-    idx.iter().map(|&i| row[i]).sum::<f32>() / idx.len() as f32
+    acc.mean()
+}
+
+/// Per-column mean of the `k` largest values of `m` — the column-wise
+/// counterpart of [`top_k_mean`], i.e. the CSLS target-side neighbourhood
+/// statistic. Streams the matrix row by row into per-column bounded heaps,
+/// parallelized over contiguous column blocks, so no `n_t x n_s`
+/// transposed copy is ever allocated.
+pub fn col_top_k_means(m: &crate::matrix::Matrix, k: usize) -> Vec<f32> {
+    use crate::fused::TopKAccumulator;
+    let (rows, cols) = m.shape();
+    let mut out = vec![0.0f32; cols];
+    if cols == 0 {
+        return out;
+    }
+    crate::parallel::par_row_chunks_mut(&mut out, 1, |col0, chunk| {
+        let width = chunk.len();
+        let mut heaps: Vec<TopKAccumulator> =
+            (0..width).map(|_| TopKAccumulator::new(k)).collect();
+        for r in 0..rows {
+            let seg = &m.row(r)[col0..col0 + width];
+            for (h, &v) in heaps.iter_mut().zip(seg.iter()) {
+                h.push(r as u32, v);
+            }
+        }
+        for (slot, h) in chunk.iter_mut().zip(heaps.iter()) {
+            *slot = h.mean();
+        }
+    });
+    out
+}
+
+/// Per-column maxima of `m` (NaN-safe: NaN never wins; columns of an
+/// empty-row matrix report `NEG_INFINITY`). Streams rows in parallel over
+/// column blocks instead of transposing.
+pub fn col_maxes(m: &crate::matrix::Matrix) -> Vec<f32> {
+    let (rows, cols) = m.shape();
+    let mut out = vec![f32::NEG_INFINITY; cols];
+    if cols == 0 {
+        return out;
+    }
+    crate::parallel::par_row_chunks_mut(&mut out, 1, |col0, chunk| {
+        for r in 0..rows {
+            let seg = &m.row(r)[col0..col0 + chunk.len()];
+            for (slot, &v) in chunk.iter_mut().zip(seg.iter()) {
+                if v > *slot {
+                    *slot = v;
+                }
+            }
+        }
+    });
+    out
 }
 
 /// Full argsort of `row` in descending order. Ties keep index order
@@ -110,6 +168,57 @@ mod tests {
         let m = top_k_mean(&row, 2);
         assert!((m - 0.8).abs() < 1e-6);
         assert_eq!(top_k_mean(&[], 2), 0.0);
+    }
+
+    #[test]
+    fn top_k_mean_equals_sort_based_reference() {
+        // The heap-based mean must match the retired argsort-based
+        // implementation: mean of the first k entries of the full argsort.
+        let row = [0.3, -1.2, 0.9, 0.9, 0.0, 2.5, -0.4];
+        for k in 1..=row.len() + 2 {
+            let sorted = argsort_desc(&row);
+            let take = k.min(row.len());
+            let want: f32 =
+                sorted[..take].iter().map(|&i| row[i]).sum::<f32>() / take as f32;
+            assert!(
+                (top_k_mean(&row, k) - want).abs() < 1e-6,
+                "k={k}: {} vs {want}",
+                top_k_mean(&row, k)
+            );
+        }
+    }
+
+    #[test]
+    fn col_top_k_means_match_transposed_row_means() {
+        let m = crate::matrix::Matrix::from_fn(7, 5, |r, c| {
+            ((r * 13 + c * 7) % 11) as f32 * 0.3 - 1.0
+        });
+        let t = m.transposed();
+        for k in [1usize, 3, 10] {
+            let cols = col_top_k_means(&m, k);
+            for (j, got) in cols.iter().enumerate() {
+                let want = top_k_mean(t.row(j), k);
+                assert!((got - want).abs() < 1e-6, "k={k} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn col_maxes_match_column_scan() {
+        let m = crate::matrix::Matrix::from_fn(6, 4, |r, c| ((r * 5 + c * 3) % 13) as f32 - 6.0);
+        let maxes = col_maxes(&m);
+        for j in 0..4 {
+            let want = m.col(j).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(maxes[j], want);
+        }
+        // NaN never wins; empty-row matrix reports NEG_INFINITY.
+        let with_nan =
+            crate::matrix::Matrix::from_vec(2, 1, vec![f32::NAN, 1.0]).unwrap();
+        assert_eq!(col_maxes(&with_nan), vec![1.0]);
+        let empty = crate::matrix::Matrix::zeros(0, 3);
+        assert_eq!(col_maxes(&empty), vec![f32::NEG_INFINITY; 3]);
+        assert!(col_maxes(&crate::matrix::Matrix::zeros(3, 0)).is_empty());
+        assert!(col_top_k_means(&crate::matrix::Matrix::zeros(3, 0), 2).is_empty());
     }
 
     #[test]

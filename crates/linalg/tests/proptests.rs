@@ -130,6 +130,24 @@ fn top_k_is_argsort_prefix() {
 }
 
 #[test]
+fn top_k_mean_equals_sort_based_reference() {
+    check("top_k_mean_equals_sort_based_reference", cfg(), |g| {
+        let m = gen_matrix(g, 1, 40);
+        let k = g.gen_range(1..50usize);
+        let row = m.row(0);
+        // Reference: full descending sort, sum the k-prefix in order. The
+        // heap implementation reports its survivors in the same canonical
+        // descending order, so the result is bitwise equal, not approximate.
+        let mut sorted = row.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let take = k.min(sorted.len());
+        let want = sorted[..take].iter().sum::<f32>() / take as f32;
+        prop_assert_eq!(top_k_mean(row, k), want);
+        Ok(())
+    });
+}
+
+#[test]
 fn top_k_mean_bounded_by_extremes() {
     check("top_k_mean_bounded_by_extremes", cfg(), |g| {
         let m = gen_matrix(g, 1, 20);

@@ -50,3 +50,25 @@ done
     exit 1
 }
 echo "verify: telemetry smoke test passed"
+
+# Kernel-bench smoke: run the kernels benchmark at its smallest size and
+# check the JSON artifact self-check passes and a blocked-kernel entry is
+# *recorded* (throughput comparison is informational here, not asserted —
+# CI machines are too noisy for a hard perf gate; BENCH_kernels.json in
+# the repo root is the canonical measured artifact).
+KERNELS_OUT="$SMOKE/BENCH_kernels.json"
+KERNELS_LOG=$(ENTMATCHER_KERNEL_BENCH_OUT="$KERNELS_OUT" \
+    cargo bench --offline -p entmatcher-bench --bench kernels 2>&1) || {
+    echo "verify: kernels bench failed" >&2
+    echo "$KERNELS_LOG" >&2
+    exit 1
+}
+echo "$KERNELS_LOG" | grep -q "self-check ok" || {
+    echo "verify: kernels bench self-check marker missing" >&2
+    exit 1
+}
+grep -q '"kernel": "blocked"' "$KERNELS_OUT" || {
+    echo "verify: no blocked-kernel entry in $KERNELS_OUT" >&2
+    exit 1
+}
+echo "verify: kernel bench smoke passed"
