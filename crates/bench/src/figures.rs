@@ -135,6 +135,8 @@ pub fn fig5(cfg: &Config, wb: &mut Workbench) -> Report {
     let grid = entmatcher_eval::ExperimentGrid {
         workers: 2,
         pad_dummies: false,
+        // Scalability sweeps take minutes; keep the console alive.
+        progress: Some(std::time::Duration::from_secs(5)),
     };
     let mut per_setting = Vec::new();
     for (name, spec, kind) in &settings {

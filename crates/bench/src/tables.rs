@@ -130,6 +130,8 @@ fn grid(
     let runner = ExperimentGrid {
         workers: 2,
         pad_dummies,
+        // Table sweeps run many cells; report progress/ETA every 5 s.
+        progress: Some(std::time::Duration::from_secs(5)),
     };
     specs
         .iter()

@@ -7,11 +7,18 @@ fn main() {
     let result = entmatcher_cli::run(&argv);
     // ENTMATCHER_TRACE=<path> dumps the whole process's trace at exit;
     // "1" (or any non-path switch value) only enables recording, leaving
-    // export to `--trace FILE`.
+    // export to `--trace FILE`. ENTMATCHER_TRACE_FORMAT=chrome switches
+    // the dump to Chrome trace_event JSON.
     if let Some(dest) = telemetry::env_trace_destination() {
         if dest != "1" {
             let trace = telemetry::snapshot();
-            if let Err(e) = std::fs::write(&dest, json::to_string_pretty(&trace)) {
+            let text = match telemetry::chrome::env_format() {
+                telemetry::chrome::TraceFormat::Chrome => {
+                    telemetry::chrome::to_chrome_string(&trace)
+                }
+                telemetry::chrome::TraceFormat::Native => json::to_string_pretty(&trace),
+            };
+            if let Err(e) = std::fs::write(&dest, text) {
                 eprintln!("warning: could not write trace to {dest}: {e}");
             }
         }

@@ -49,31 +49,86 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-/// Dispatches a parsed command line.
+/// Dispatches a parsed command line, wrapping it in the flight-recorder
+/// surfaces the caller asked for:
 ///
-/// When `--trace FILE` is present the global telemetry registry is reset
-/// and enabled for the duration of the command, and the resulting trace is
-/// exported to `FILE` as pretty-printed JSON (whether the command succeeds
-/// or fails, so aborted runs stay diagnosable).
+/// - `--trace FILE` resets and enables the global registry for the
+///   command and exports the trace to `FILE` (whether the command
+///   succeeds or fails, so aborted runs stay diagnosable) — as the native
+///   JSON document, or as Chrome `trace_event` JSON when
+///   `ENTMATCHER_TRACE_FORMAT=chrome`.
+/// - `--profile FILE` enables the registry (resetting it alongside
+///   `--trace`'s reset semantics) and runs the span-stack sampler for the
+///   command, writing collapsed-stack lines to `FILE`
+///   (`ENTMATCHER_PROFILE_HZ` overrides the 97 Hz default).
+/// - `--metrics ADDR` (or `ENTMATCHER_METRICS_ADDR`) serves the live
+///   registry over HTTP for the duration of the command; the bound
+///   address is printed to stderr (port 0 picks an ephemeral port) and
+///   the server lingers `ENTMATCHER_METRICS_LINGER_MS` after the command
+///   so short runs stay scrapable.
 pub fn run_command(args: &ParsedArgs) -> Result<String, CliError> {
     if args.has_flag("help") {
         return Ok(USAGE.to_owned());
     }
     let trace_path = args.get("trace").map(std::path::PathBuf::from);
+    let profile_path = args.get("profile").map(std::path::PathBuf::from);
+    let metrics_addr = args
+        .get("metrics")
+        .map(str::to_owned)
+        .or_else(telemetry::expose::env_metrics_addr);
     let was_enabled = telemetry::enabled();
-    if trace_path.is_some() {
+    if trace_path.is_some() || profile_path.is_some() {
         telemetry::reset();
+    }
+    if trace_path.is_some() || profile_path.is_some() || metrics_addr.is_some() {
         telemetry::set_enabled(true);
     }
-    let result = dispatch(args);
-    let Some(path) = trace_path else {
-        return result;
+    let server = match &metrics_addr {
+        Some(addr) => {
+            let server = telemetry::expose::MetricsServer::start(telemetry::global(), addr)
+                .map_err(|e| CliError::Failed(format!("--metrics {addr}: {e}")))?;
+            eprintln!("metrics: serving http://{}/metrics", server.addr());
+            Some(server)
+        }
+        None => None,
     };
-    let trace = telemetry::snapshot();
+    let profiler = profile_path.as_ref().map(|_| {
+        telemetry::profile::Profiler::start(telemetry::global(), telemetry::profile::env_profile_hz())
+    });
+
+    let result = dispatch(args);
+
+    let mut notes = Vec::new();
+    if let (Some(profiler), Some(path)) = (profiler, &profile_path) {
+        let profile = profiler.stop();
+        std::fs::write(path, profile.to_folded())?;
+        notes.push(format!(
+            "profile written to {} ({} samples)",
+            path.display(),
+            profile.samples
+        ));
+    }
+    if let Some(path) = &trace_path {
+        let trace = telemetry::snapshot();
+        let text = match telemetry::chrome::env_format() {
+            telemetry::chrome::TraceFormat::Chrome => telemetry::chrome::to_chrome_string(&trace),
+            telemetry::chrome::TraceFormat::Native => {
+                entmatcher_support::json::to_string_pretty(&trace)
+            }
+        };
+        std::fs::write(path, text)?;
+        notes.push(format!("trace written to {}", path.display()));
+    }
+    if let Some(server) = server {
+        std::thread::sleep(telemetry::expose::env_linger());
+        server.shutdown();
+    }
     telemetry::set_enabled(was_enabled);
-    let json = entmatcher_support::json::to_string_pretty(&trace);
-    std::fs::write(&path, json)?;
-    result.map(|report| format!("{report}\ntrace written to {}", path.display()))
+    if notes.is_empty() {
+        result
+    } else {
+        result.map(|report| format!("{report}\n{}", notes.join("\n")))
+    }
 }
 
 fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
@@ -304,6 +359,19 @@ fn cmd_trace(args: &ParsedArgs) -> Result<String, CliError> {
     let text = std::fs::read_to_string(path)?;
     let trace: telemetry::Trace = entmatcher_support::json::from_str(&text)
         .map_err(|e| CliError::Failed(format!("{}: {e}", path.display())))?;
+    // `--chrome OUT.json` converts a native trace into Chrome trace_event
+    // JSON for ui.perfetto.dev / chrome://tracing instead of rendering.
+    if let Some(out) = args.get("chrome") {
+        let out = Path::new(out);
+        std::fs::write(out, telemetry::chrome::to_chrome_string(&trace))?;
+        return Ok(format!(
+            "converted {} ({} spans, {} counters) -> {} (chrome trace_event)",
+            path.display(),
+            trace.spans.len(),
+            trace.counters.len(),
+            out.display()
+        ));
+    }
     Ok(trace.render())
 }
 
@@ -509,6 +577,48 @@ mod tests {
         let rendered = run(&["trace", "--file", trace_file.to_str().unwrap()]).unwrap();
         assert!(rendered.contains("pipeline"), "render: {rendered}");
         assert!(rendered.contains("similarity"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn trace_chrome_flag_converts_native_traces() {
+        use entmatcher_support::json::Json;
+        let root = temp_dir("chrome");
+        let native = root.join("native.json");
+        let chrome = root.join("chrome.json");
+        // Build a trace on a standalone registry so this test never touches
+        // the global one other tests reset.
+        let t = telemetry::Telemetry::new();
+        t.set_enabled(true);
+        {
+            let _outer = t.span("pipeline");
+            let _inner = t.span("similarity");
+        }
+        t.add("gemm.tiles", 7);
+        std::fs::write(
+            &native,
+            entmatcher_support::json::to_string_pretty(&t.snapshot()),
+        )
+        .unwrap();
+
+        let out = run(&[
+            "trace",
+            "--file",
+            native.to_str().unwrap(),
+            "--chrome",
+            chrome.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("chrome trace_event"), "report: {out}");
+
+        let doc = Json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let events = doc["traceEvents"].as_array().expect("traceEvents");
+        assert!(events
+            .iter()
+            .any(|e| e["ph"] == "X" && e["name"] == "pipeline"));
+        assert!(events
+            .iter()
+            .any(|e| e["ph"] == "C" && e["name"] == "gemm.tiles"));
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -53,13 +53,27 @@ commands:
             Match the test candidates; writes predicted pairs as TSV.
   eval      --data DIR --pairs FILE
             Score predicted pairs against the gold test links.
-  trace     --file FILE
+  trace     --file FILE [--chrome OUT.json]
             Render an exported JSON trace as an indented span tree with
-            counters and histograms.
+            counters and histogram quantiles, or convert it to Chrome
+            trace_event JSON (open OUT.json in ui.perfetto.dev).
 
 observability:
-  Every command accepts --trace FILE: telemetry (spans, counters,
-  histograms) is recorded for the command and exported to FILE as JSON.
+  Every command accepts the flight-recorder flags:
+    --trace FILE     Record telemetry (spans, counters, histograms) for
+                     the command and export it to FILE as JSON. With
+                     ENTMATCHER_TRACE_FORMAT=chrome the export is Chrome
+                     trace_event JSON instead of the native document.
+    --profile FILE   Sample every thread's open span stack while the
+                     command runs and write collapsed ('folded') stacks
+                     to FILE for flamegraph tooling. Sampling rate via
+                     ENTMATCHER_PROFILE_HZ (default 97).
+    --metrics ADDR   Serve live Prometheus metrics on ADDR (e.g.
+                     127.0.0.1:9184; port 0 picks one) for the duration
+                     of the command: curl http://ADDR/metrics. The bound
+                     address prints to stderr; ENTMATCHER_METRICS_ADDR
+                     is the env equivalent, and the server lingers
+                     ENTMATCHER_METRICS_LINGER_MS after the command.
   Alternatively set ENTMATCHER_TRACE=FILE to record the whole process and
   dump the trace at exit, or ENTMATCHER_TRACE=1 to record without dumping.
   Unset (or 0), telemetry is off and costs one atomic load per site.

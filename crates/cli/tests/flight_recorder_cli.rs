@@ -1,0 +1,220 @@
+//! End-to-end flight-recorder tests against the real `entmatcher` binary:
+//! live metrics scraped over HTTP while a command runs, Chrome trace
+//! export selected by environment, and the `--profile` sampler. Each test
+//! spawns a child process, so environment variables and the global
+//! telemetry registry never race with other tests in this process.
+
+use entmatcher_support::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_entmatcher");
+
+/// Generates a tiny dataset and name embeddings in-process (neither step
+/// touches the flight-recorder flags) and returns (data, embeddings).
+fn setup(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join(format!(
+        "entmatcher-recorder-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let data = root.join("data");
+    let emb = root.join("emb");
+    let run = |parts: &[&str]| {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        entmatcher_cli::run(&argv).unwrap()
+    };
+    run(&[
+        "generate",
+        "--preset",
+        "S-W",
+        "--scale",
+        "0.02",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+    run(&[
+        "encode",
+        "--data",
+        data.to_str().unwrap(),
+        "--encoder",
+        "name",
+        "--out",
+        emb.to_str().unwrap(),
+    ]);
+    (root, data, emb)
+}
+
+fn match_args(data: &std::path::Path, emb: &std::path::Path, out: &std::path::Path) -> Vec<String> {
+    [
+        "match",
+        "--data",
+        data.to_str().unwrap(),
+        "--embeddings",
+        emb.to_str().unwrap(),
+        "--algorithm",
+        "csls",
+        "--out",
+        out.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// One HTTP GET against the child's metrics server.
+fn http_get(addr: &str, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+#[test]
+fn metrics_flag_serves_scrapable_prometheus_endpoint() {
+    let (root, data, emb) = setup("metrics");
+    let pairs = root.join("pairs.tsv");
+    let mut child = Command::new(BIN)
+        .args(match_args(&data, &emb, &pairs))
+        .args(["--metrics", "127.0.0.1:0"])
+        // Linger keeps the server scrapable after the (fast) command.
+        .env("ENTMATCHER_METRICS_LINGER_MS", "4000")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn entmatcher");
+
+    // The bound address is announced on stderr before the command runs.
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut addr = None;
+    let mut line = String::new();
+    while stderr.read_line(&mut line).unwrap() > 0 {
+        if let Some(rest) = line.trim().strip_prefix("metrics: serving http://") {
+            addr = Some(rest.trim_end_matches("/metrics").to_string());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.expect("metrics address line on stderr");
+
+    // Poll /metrics until the command's counters land in a published
+    // snapshot (the publisher re-renders every 250 ms).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut body;
+    loop {
+        body = http_get(&addr, "/metrics");
+        if body.contains("entmatcher_csls_neighborhoods_total")
+            || std::time::Instant::now() > deadline
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(body.starts_with("HTTP/1.1 200 OK"), "response: {body}");
+    assert!(
+        body.contains("text/plain; version=0.0.4"),
+        "wrong content type: {body}"
+    );
+    assert!(body.contains("entmatcher_up 1"), "missing up gauge: {body}");
+    assert!(
+        body.contains("entmatcher_csls_neighborhoods_total"),
+        "missing csls counter: {body}"
+    );
+    assert!(body.contains("entmatcher_span_seconds_total{span=\"pipeline\"}"));
+    let health = http_get(&addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.1 200 OK"));
+    assert!(health.ends_with("ok\n"));
+
+    let status = child.wait().expect("child exits after linger");
+    assert!(status.success(), "entmatcher --metrics run failed");
+    assert!(pairs.exists(), "match output missing");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn trace_format_env_switches_export_to_chrome() {
+    let (root, data, emb) = setup("chrome-env");
+    let pairs = root.join("pairs.tsv");
+    let trace = root.join("trace.json");
+    let output = Command::new(BIN)
+        .args(match_args(&data, &emb, &pairs))
+        .args(["--trace", trace.to_str().unwrap()])
+        .env("ENTMATCHER_TRACE_FORMAT", "chrome")
+        .output()
+        .expect("spawn entmatcher");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let doc = Json::parse(&std::fs::read_to_string(&trace).unwrap())
+        .expect("chrome trace must be valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let pipeline = events
+        .iter()
+        .find(|e| e["ph"] == "X" && e["name"] == "pipeline")
+        .expect("pipeline complete event");
+    assert!(pipeline["tid"].as_f64().unwrap() >= 1.0, "thread lane missing");
+    assert!(events
+        .iter()
+        .any(|e| e["ph"] == "X" && e["name"] == "similarity"));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn profile_flag_writes_collapsed_stacks() {
+    let (root, data, emb) = setup("profile");
+    let pairs = root.join("pairs.tsv");
+    let folded = root.join("profile.folded");
+    // A tiny match can finish between two sampler ticks on a loaded CI
+    // machine even at a high rate, so allow a few attempts before
+    // demanding a pipeline stack.
+    let mut text = String::new();
+    for attempt in 0..5 {
+        let output = Command::new(BIN)
+            .args(match_args(&data, &emb, &pairs))
+            .args(["--profile", folded.to_str().unwrap()])
+            // Sample fast so even a quick command yields stacks.
+            .env("ENTMATCHER_PROFILE_HZ", "2000")
+            .output()
+            .expect("spawn entmatcher");
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let report = String::from_utf8_lossy(&output.stdout);
+        assert!(report.contains("profile written to"), "report: {report}");
+        text = std::fs::read_to_string(&folded).expect("folded profile written");
+        if text.lines().any(|l| l.starts_with("pipeline")) {
+            break;
+        }
+        eprintln!("attempt {attempt}: no pipeline stacks sampled, retrying");
+    }
+
+    // Every line of the folded file is `frames count` with `;`-joined
+    // frame names; the pipeline span should dominate the samples.
+    for line in text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!stack.is_empty());
+        assert!(count.parse::<u64>().unwrap() > 0, "bad count in {line:?}");
+    }
+    assert!(
+        text.lines().any(|l| l.starts_with("pipeline")),
+        "no pipeline stacks sampled:\n{text}"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}

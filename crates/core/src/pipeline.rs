@@ -355,6 +355,14 @@ mod tests {
             .map(|sp| sp.bytes)
             .sum();
         assert_eq!(byte_sum, r.peak_aux_bytes as u64);
+        // The stages run on the pipeline's thread, so all four spans share
+        // one real thread lane (lanes are 1-based) — the invariant behind
+        // the Chrome export's per-thread rows.
+        assert!(pipeline.tid >= 1, "pipeline span missing thread lane");
+        assert!(trace
+            .children(pipeline.id)
+            .iter()
+            .all(|sp| sp.tid == pipeline.tid));
     }
 
     #[test]

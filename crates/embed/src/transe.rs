@@ -390,6 +390,12 @@ mod tests {
             trace.spans_named("transe.epoch").count() >= 4,
             "one span per epoch"
         );
+        // Training is single-threaded: every epoch span carries the
+        // recording thread's lane (1-based), and all epochs share it.
+        let lane = telemetry::thread_lane();
+        assert!(trace
+            .spans_named("transe.epoch")
+            .all(|sp| sp.tid == lane && sp.tid >= 1));
         let loss = trace.histogram("transe.loss").expect("loss recorded");
         assert!(loss.count >= 4);
         assert!(loss.sum > 0.0, "margin loss should be positive early on");

@@ -11,9 +11,9 @@ use entmatcher_embed::UnifiedEmbeddings;
 use entmatcher_graph::KgPair;
 use entmatcher_support::json::{FromJson, Json, JsonError, Map, ToJson};
 use entmatcher_support::telemetry;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Result of one experiment cell.
 #[derive(Debug, Clone)]
@@ -105,6 +105,10 @@ pub struct ExperimentGrid {
     pub workers: usize,
     /// Enable the dummy-node protocol (unmatchable setting).
     pub pad_dummies: bool,
+    /// When set, a reporter thread prints a progress/ETA line to stderr at
+    /// this interval while cells run (long table sweeps otherwise look
+    /// hung). `None` keeps the grid silent.
+    pub progress: Option<Duration>,
 }
 
 impl Default for ExperimentGrid {
@@ -112,8 +116,34 @@ impl Default for ExperimentGrid {
         ExperimentGrid {
             workers: 2,
             pad_dummies: false,
+            progress: None,
         }
     }
+}
+
+/// One progress report for a running grid, e.g.
+/// `grid: 3/9 cells (33%), elapsed 12.3s, eta 24.6s, mean cell 4.1s`.
+/// `cell_time` is the summed wall time of the `done` finished cells (the
+/// per-cell mean; ETA comes from reporter-observed elapsed time, which
+/// accounts for worker parallelism). Before any cell finishes both
+/// estimates print as `?`.
+pub fn progress_line(done: usize, total: usize, elapsed: Duration, cell_time: Duration) -> String {
+    let pct = if total == 0 {
+        100
+    } else {
+        (100 * done) / total
+    };
+    let (eta, mean) = if done == 0 {
+        ("?".to_owned(), "?".to_owned())
+    } else {
+        let eta = elapsed.as_secs_f64() * (total - done) as f64 / done as f64;
+        let mean = cell_time.as_secs_f64() / done as f64;
+        (format!("{eta:.1}s"), format!("{mean:.1}s"))
+    };
+    format!(
+        "grid: {done}/{total} cells ({pct}%), elapsed {:.1}s, eta {eta}, mean cell {mean}",
+        elapsed.as_secs_f64()
+    )
 }
 
 impl ExperimentGrid {
@@ -140,10 +170,14 @@ impl ExperimentGrid {
     ) -> Vec<CellResult> {
         let results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; presets.len()]);
         let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let cell_ns = AtomicU64::new(0);
         let workers = self.workers.clamp(1, presets.len().max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let next = &next;
+                let done = &done;
+                let cell_ns = &cell_ns;
                 let results = &results;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -154,7 +188,40 @@ impl ExperimentGrid {
                     // Progress signal for long grids: one tick per finished
                     // cell, readable from another thread via `snapshot()`.
                     telemetry::add("grid.heartbeat", 1);
+                    cell_ns.fetch_add(cell.elapsed.as_nanos() as u64, Ordering::Relaxed);
                     results.lock().expect("no panics hold the lock")[i] = Some(cell);
+                    done.fetch_add(1, Ordering::Release);
+                });
+            }
+            if let Some(interval) = self.progress.filter(|_| !presets.is_empty()) {
+                let done = &done;
+                let cell_ns = &cell_ns;
+                let total = presets.len();
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    // Sleep in short slices so the reporter exits promptly
+                    // once the last cell lands instead of holding the scope
+                    // open for a full interval.
+                    'report: loop {
+                        let mut slept = Duration::ZERO;
+                        while slept < interval {
+                            if done.load(Ordering::Acquire) >= total {
+                                break 'report;
+                            }
+                            let step = (interval - slept).min(Duration::from_millis(25));
+                            std::thread::sleep(step);
+                            slept += step;
+                        }
+                        eprintln!(
+                            "{}",
+                            progress_line(
+                                done.load(Ordering::Acquire),
+                                total,
+                                start.elapsed(),
+                                Duration::from_nanos(cell_ns.load(Ordering::Relaxed)),
+                            )
+                        );
+                    }
                 });
             }
         });
@@ -225,7 +292,7 @@ mod tests {
         ];
         let grid = ExperimentGrid {
             workers: 3,
-            pad_dummies: false,
+            ..Default::default()
         };
         let results = grid.run_with_embeddings(&pair, "G-", &emb, &presets);
         assert_eq!(results.len(), 3);
@@ -261,6 +328,74 @@ mod tests {
                 .children(cell.id)
                 .iter()
                 .any(|s| s.name == "pipeline"));
+        }
+    }
+
+    #[test]
+    fn progress_line_formats_and_estimates() {
+        // Nothing done yet: percent 0, unknown ETA and mean.
+        let line = progress_line(0, 9, Duration::from_millis(100), Duration::ZERO);
+        assert_eq!(line, "grid: 0/9 cells (0%), elapsed 0.1s, eta ?, mean cell ?");
+        // 3/9 done in 12.3s -> eta = 12.3 * 6/3 = 24.6s; mean cell from the
+        // summed per-cell wall time, not the parallel elapsed time.
+        let line = progress_line(
+            3,
+            9,
+            Duration::from_secs_f64(12.3),
+            Duration::from_secs_f64(12.3),
+        );
+        assert_eq!(
+            line,
+            "grid: 3/9 cells (33%), elapsed 12.3s, eta 24.6s, mean cell 4.1s"
+        );
+        // Finished grid: eta 0, degenerate total guarded.
+        let line = progress_line(4, 4, Duration::from_secs(8), Duration::from_secs(8));
+        assert!(line.starts_with("grid: 4/4 cells (100%), elapsed 8.0s, eta 0.0s"));
+        assert!(progress_line(0, 0, Duration::ZERO, Duration::ZERO).contains("(100%)"));
+    }
+
+    #[test]
+    fn grid_with_progress_reporter_terminates_and_matches_silent_run() {
+        let pair = small_pair();
+        let emb = EncoderKind::Gcn.encode(&pair);
+        let presets = [AlgorithmPreset::DInf, AlgorithmPreset::Csls];
+        // A short interval forces several reporter wake-ups mid-run; the
+        // scope only exits once the reporter thread does, so completion IS
+        // the termination assertion.
+        let grid = ExperimentGrid {
+            progress: Some(Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let results = grid.run_with_embeddings(&pair, "G-", &emb, &presets);
+        let silent = ExperimentGrid::default().run_with_embeddings(&pair, "G-", &emb, &presets);
+        assert_eq!(results.len(), 2);
+        for (a, b) in results.iter().zip(silent.iter()) {
+            assert_eq!(a.scores.f1, b.scores.f1, "{} differs", a.algorithm);
+        }
+    }
+
+    #[test]
+    fn cell_spans_carry_worker_thread_lanes() {
+        let _guard = crate::telemetry_test_lock();
+        telemetry::reset();
+        telemetry::set_enabled(true);
+        let pair = small_pair();
+        let emb = EncoderKind::Gcn.encode(&pair);
+        let presets = [AlgorithmPreset::DInf, AlgorithmPreset::Csls];
+        ExperimentGrid::default().run_with_embeddings(&pair, "G-", &emb, &presets);
+        let trace = telemetry::snapshot();
+        telemetry::set_enabled(false);
+        // Every cell ran on a scope worker, so its span records a real
+        // thread lane (lanes are 1-based) shared with its pipeline child —
+        // that is what groups the Perfetto view into per-worker rows.
+        for span in trace.spans_named("cell:toy/G-DInf") {
+            assert!(span.tid >= 1, "cell span missing thread lane");
+            let child = trace
+                .children(span.id)
+                .into_iter()
+                .find(|s| s.name == "pipeline")
+                .expect("pipeline child");
+            assert_eq!(child.tid, span.tid, "stage ran on the cell's thread");
         }
     }
 

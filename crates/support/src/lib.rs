@@ -16,7 +16,11 @@
 //!   bench targets.
 //! - [`telemetry`] — structured spans, counters, and log-scale histograms
 //!   with JSON trace export (the `ENTMATCHER_TRACE` / `--trace`
-//!   observability layer every crate reports into).
+//!   observability layer every crate reports into), plus the
+//!   flight-recorder surfaces: live Prometheus exposition
+//!   ([`telemetry::expose`]), Chrome/Perfetto trace export
+//!   ([`telemetry::chrome`]), and a span-stack sampling profiler
+//!   ([`telemetry::profile`]).
 //!
 //! The API shapes deliberately mirror the external crates they replace so
 //! that call sites migrate by swapping `use` lines, not rewriting bodies.

@@ -27,6 +27,28 @@
 //!   min / max — the right shape for convergence deltas and losses that
 //!   span many orders of magnitude.
 //!
+//! # Flight-recorder surfaces
+//!
+//! Beyond the post-mortem JSON trace, three runtime-facing surfaces build
+//! on the registry (all std-only, all fully off by default):
+//!
+//! - [`expose`] — a tiny HTTP server publishing the live registry as
+//!   Prometheus text exposition (`/metrics`, plus `/healthz`), so long
+//!   runs can be scraped mid-flight.
+//! - [`chrome`] — Chrome `trace_event` / Perfetto export of a completed
+//!   [`Trace`]: every span becomes a complete event (`"ph":"X"`) on its
+//!   recording thread's lane, so traces open directly in
+//!   `ui.perfetto.dev`.
+//! - [`profile`] — a span-stack sampling profiler: a background thread
+//!   samples every thread's currently-open span stack at a fixed rate and
+//!   aggregates collapsed-stack lines (`a;b;c count`) for flamegraph
+//!   tooling.
+//!
+//! To support them, every span records the **thread lane** ([`thread_lane`],
+//! a small stable per-OS-thread integer) it was opened on, and the registry
+//! keeps a per-thread view of the currently *open* spans
+//! ([`Telemetry::open_stacks`]) that the sampler reads.
+//!
 //! # Overhead
 //!
 //! Recording is off by default. Every recording call first reads one
@@ -62,15 +84,23 @@
 //! assert_eq!(trace, back);
 //! ```
 
+pub mod chrome;
+pub mod expose;
+pub mod profile;
+
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Wire-format version stamped into every exported trace document.
-pub const TRACE_VERSION: u64 = 1;
+///
+/// v2 added `tid` to span records and `finite_count` to histograms; the
+/// parser accepts v1 documents by defaulting `tid` to 0 and
+/// `finite_count` to `count`.
+pub const TRACE_VERSION: u64 = 2;
 
 /// Histogram bucket index for samples that have no binary exponent
 /// (zero, negative, or NaN inputs).
@@ -97,11 +127,16 @@ struct State {
     spans: Vec<SpanRecord>,
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Hist>,
+    // Per-thread-lane stacks of currently-open spans `(id, name)`, the
+    // view the sampling profiler reads. Maintained only while recording
+    // is enabled (the disabled fast path never touches the lock).
+    open: BTreeMap<u64, Vec<(u64, String)>>,
 }
 
 #[derive(Default, Clone)]
 struct Hist {
     count: u64,
+    finite_count: u64,
     sum: f64,
     min: f64,
     max: f64,
@@ -112,6 +147,22 @@ struct Hist {
 // of independent `Telemetry` instances never adopt each other.
 thread_local! {
     static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+// Thread lanes: a small, stable integer per OS thread, assigned on first
+// use in thread-creation order. Process-global (shared by all registries)
+// so lanes in a trace line up with lanes in a concurrently-written
+// profile.
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static THREAD_LANE: u64 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's lane id: a small stable integer (1-based, in order
+/// of first telemetry use per thread) that spans carry as their `tid` and
+/// the Chrome export uses as the Perfetto thread lane.
+pub fn thread_lane() -> u64 {
+    THREAD_LANE.with(|l| *l)
 }
 
 impl Default for Telemetry {
@@ -154,10 +205,20 @@ impl Telemetry {
                 open: None,
             };
         }
+        let name = name.into();
+        let tid = thread_lane();
         let id = {
             let mut state = self.state.lock().expect("telemetry lock poisoned");
             state.next_span_id += 1;
-            state.next_span_id
+            let id = state.next_span_id;
+            // Mirror the open span into the shared per-lane view so the
+            // sampling profiler can observe it from another thread.
+            state
+                .open
+                .entry(tid)
+                .or_default()
+                .push((id, name.to_string()));
+            id
         };
         let key = self as *const Telemetry as usize;
         let parent = SPAN_STACK.with(|stack| {
@@ -172,9 +233,10 @@ impl Telemetry {
             open: Some(OpenSpan {
                 id,
                 parent,
-                name: name.into(),
+                name,
                 start_ns: self.epoch.elapsed().as_nanos() as u64,
                 bytes: 0,
+                tid,
             }),
         }
     }
@@ -207,13 +269,14 @@ impl Telemetry {
                 .or_insert_with(Hist::default)
         };
         if value.is_finite() {
-            if hist.count == 0 || value < hist.min {
+            if hist.finite_count == 0 || value < hist.min {
                 hist.min = value;
             }
-            if hist.count == 0 || value > hist.max {
+            if hist.finite_count == 0 || value > hist.max {
                 hist.max = value;
             }
             hist.sum += value;
+            hist.finite_count += 1;
         }
         hist.count += 1;
         *hist.buckets.entry(log2_bucket(value)).or_insert(0) += 1;
@@ -240,6 +303,7 @@ impl Telemetry {
                 .map(|(name, h)| Histogram {
                     name: name.clone(),
                     count: h.count,
+                    finite_count: h.finite_count,
                     sum: h.sum,
                     min: h.min,
                     max: h.max,
@@ -247,6 +311,19 @@ impl Telemetry {
                 })
                 .collect(),
         }
+    }
+
+    /// The per-thread-lane stacks of currently-open spans, outermost
+    /// first: `(lane, [names])`. Empty when recording is off or nothing is
+    /// open. This is the view the [`profile`] sampler collapses.
+    pub fn open_stacks(&self) -> Vec<(u64, Vec<String>)> {
+        let state = self.state.lock().expect("telemetry lock poisoned");
+        state
+            .open
+            .iter()
+            .filter(|(_, stack)| !stack.is_empty())
+            .map(|(&tid, stack)| (tid, stack.iter().map(|(_, n)| n.clone()).collect()))
+            .collect()
     }
 
     /// Clears all recorded data (the enabled flag is untouched).
@@ -270,12 +347,18 @@ impl Telemetry {
             start_ns: open.start_ns,
             duration_ns: duration.as_nanos() as u64,
             bytes: open.bytes,
+            tid: open.tid,
         };
-        self.state
-            .lock()
-            .expect("telemetry lock poisoned")
-            .spans
-            .push(record);
+        let mut state = self.state.lock().expect("telemetry lock poisoned");
+        // Retire the span from the sampler's open-stack view (it may
+        // already be gone if the registry was reset while it was open).
+        if let Some(stack) = state.open.get_mut(&open.tid) {
+            stack.retain(|&(id, _)| id != record.id);
+            if stack.is_empty() {
+                state.open.remove(&open.tid);
+            }
+        }
+        state.spans.push(record);
     }
 }
 
@@ -299,6 +382,7 @@ struct OpenSpan {
     name: Cow<'static, str>,
     start_ns: u64,
     bytes: u64,
+    tid: u64,
 }
 
 /// RAII guard for an open span: records the span on drop (or via
@@ -431,16 +515,35 @@ pub struct SpanRecord {
     pub duration_ns: u64,
     /// Auxiliary heap bytes attributed to this span.
     pub bytes: u64,
+    /// Thread lane the span was opened on (see [`thread_lane`]); 0 in
+    /// traces written before wire version 2.
+    pub tid: u64,
 }
 
-crate::impl_json_struct!(SpanRecord {
+crate::impl_json_struct!(to_only SpanRecord {
     id,
     parent,
     name,
     start_ns,
     duration_ns,
     bytes,
+    tid,
 });
+
+// Hand-written so v1 traces (no `tid`) still parse.
+impl crate::json::FromJson for SpanRecord {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        Ok(SpanRecord {
+            id: v.field("id")?,
+            parent: v.field("parent")?,
+            name: v.field("name")?,
+            start_ns: v.field("start_ns")?,
+            duration_ns: v.field("duration_ns")?,
+            bytes: v.field("bytes")?,
+            tid: v.field::<Option<u64>>("tid")?.unwrap_or(0),
+        })
+    }
+}
 
 impl SpanRecord {
     /// The span's wall time as a [`Duration`].
@@ -467,6 +570,10 @@ pub struct Histogram {
     pub name: String,
     /// Total number of samples (including non-finite ones).
     pub count: u64,
+    /// Number of finite samples — the denominator of [`Self::mean`]. In
+    /// traces written before wire version 2 this field is absent and
+    /// defaults to `count`.
+    pub finite_count: u64,
     /// Sum of the finite samples.
     pub sum: f64,
     /// Smallest finite sample (0 when none).
@@ -479,23 +586,98 @@ pub struct Histogram {
     pub buckets: Vec<(i32, u64)>,
 }
 
-crate::impl_json_struct!(Histogram {
+crate::impl_json_struct!(to_only Histogram {
     name,
     count,
+    finite_count,
     sum,
     min,
     max,
     buckets,
 });
 
+// Hand-written so v1 traces (no `finite_count`) still parse; defaulting
+// to `count` reproduces v1's mean for traces without non-finite samples.
+impl crate::json::FromJson for Histogram {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        let count: u64 = v.field("count")?;
+        Ok(Histogram {
+            name: v.field("name")?,
+            count,
+            finite_count: v.field::<Option<u64>>("finite_count")?.unwrap_or(count),
+            sum: v.field("sum")?,
+            min: v.field("min")?,
+            max: v.field("max")?,
+            buckets: v.field("buckets")?,
+        })
+    }
+}
+
 impl Histogram {
-    /// Mean of the finite samples (0 when empty).
+    /// Mean of the finite samples (0 when there are none). Dividing by
+    /// `finite_count` (not `count`) keeps NaN/±inf observations from
+    /// silently dragging the mean toward zero.
     pub fn mean(&self) -> f64 {
-        if self.count == 0 {
+        if self.finite_count == 0 {
             0.0
         } else {
-            self.sum / self.count as f64
+            self.sum / self.finite_count as f64
         }
+    }
+
+    /// Bucket-interpolated quantile estimate (`q` in `[0, 1]`).
+    ///
+    /// Samples inside the power-of-two bucket that contains the target
+    /// rank are assumed uniformly distributed over `[2^b, 2^(b+1))`;
+    /// ranks that land in the underflow bucket (zero / negative / NaN
+    /// samples) estimate as `min(min, 0)`. The result is clamped to the
+    /// exact observed `[min, max]`, so estimates never exceed the true
+    /// extremes.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0.0;
+        for (i, &(b, c)) in self.buckets.iter().enumerate() {
+            let c = c as f64;
+            let last = i + 1 == self.buckets.len();
+            if cum + c >= target || last {
+                if b == UNDERFLOW_BUCKET {
+                    return self.min.min(0.0);
+                }
+                let lo = (b as f64).exp2();
+                let hi = (b as f64 + 1.0).exp2();
+                let frac = if c > 0.0 {
+                    ((target - cum) / c).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let v = lo + frac * (hi - lo);
+                return if self.finite_count > 0 {
+                    v.clamp(self.min, self.max)
+                } else {
+                    v
+                };
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Self::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Self::quantile`]).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Self::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -602,12 +784,15 @@ impl Trace {
             for h in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {}: n={} mean={:.6} min={:.6} max={:.6}",
+                    "  {}: n={} mean={:.6} min={:.6} max={:.6} p50~{:.6} p95~{:.6} p99~{:.6}",
                     h.name,
                     h.count,
                     h.mean(),
                     h.min,
-                    h.max
+                    h.max,
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                 );
             }
         }
@@ -677,10 +862,14 @@ mod tests {
         assert_eq!(trace.counter("rounds"), Some(5));
         let h = trace.histogram("dev").unwrap();
         assert_eq!(h.count, 6);
+        assert_eq!(h.finite_count, 5);
         assert_eq!(h.min, 0.0);
         assert_eq!(h.max, 2.0);
         // sum skips only non-finite samples: 0.5+1+1.5+2+0 = 5.
         assert!((h.sum - 5.0).abs() < 1e-12);
+        // mean divides by the finite count: the NaN sample must not drag
+        // it toward zero (5/5, not 5/6).
+        assert!((h.mean() - 1.0).abs() < 1e-12);
         // Buckets: -1 -> {0.5}, 0 -> {1.0, 1.5}, 1 -> {2.0},
         // underflow -> {0.0, NaN}.
         let get = |b: i32| h.buckets.iter().find(|&&(e, _)| e == b).map(|&(_, c)| c);
@@ -688,6 +877,128 @@ mod tests {
         assert_eq!(get(0), Some(2));
         assert_eq!(get(1), Some(1));
         assert_eq!(get(UNDERFLOW_BUCKET), Some(2));
+    }
+
+    #[test]
+    fn mean_ignores_nonfinite_even_when_first() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        t.observe("h", f64::NAN);
+        t.observe("h", 4.0);
+        t.observe("h", f64::INFINITY);
+        t.observe("h", 2.0);
+        let h = t.snapshot().histogram("h").cloned().unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.finite_count, 2);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 4.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        // 100 samples uniform over [1, 2): all land in bucket 0.
+        for i in 0..100 {
+            t.observe("u", 1.0 + i as f64 / 100.0);
+        }
+        let h = t.snapshot().histogram("u").cloned().unwrap();
+        // Interpolation inside [1, 2): p50 ~ 1.5, p95 ~ 1.95.
+        assert!((h.p50() - 1.5).abs() < 0.02, "p50 = {}", h.p50());
+        assert!((h.p95() - 1.95).abs() < 0.02, "p95 = {}", h.p95());
+        assert!(h.p99() <= h.max && h.p99() >= h.p95());
+        // Quantiles are monotone and clamped to the observed range.
+        assert!(h.quantile(0.0) >= h.min && h.quantile(1.0) <= h.max);
+
+        // Spread across buckets: 8 samples in [1,2), 2 in [8,16).
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        for _ in 0..8 {
+            t.observe("s", 1.5);
+        }
+        for _ in 0..2 {
+            t.observe("s", 12.0);
+        }
+        let h = t.snapshot().histogram("s").cloned().unwrap();
+        assert!(h.p50() < 2.0, "p50 must stay in the low bucket: {}", h.p50());
+        assert!(h.p95() >= 8.0, "p95 must reach the high bucket: {}", h.p95());
+    }
+
+    #[test]
+    fn quantile_of_underflow_only_histogram() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        t.observe("z", 0.0);
+        t.observe("z", -3.0);
+        let h = t.snapshot().histogram("z").cloned().unwrap();
+        // All mass in the underflow bucket: estimate is min(min, 0).
+        assert_eq!(h.p50(), -3.0);
+        let empty = Histogram {
+            name: "e".into(),
+            count: 0,
+            finite_count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn spans_carry_thread_lanes_and_open_stacks_are_visible() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        let outer = t.span("outer");
+        let lane = thread_lane();
+        assert!(lane > 0);
+        {
+            let _inner = t.span("inner");
+            let stacks = t.open_stacks();
+            assert_eq!(stacks.len(), 1);
+            assert_eq!(stacks[0].0, lane);
+            assert_eq!(stacks[0].1, vec!["outer".to_string(), "inner".to_string()]);
+        }
+        // Closing pops the open view.
+        assert_eq!(t.open_stacks()[0].1, vec!["outer".to_string()]);
+        drop(outer);
+        assert!(t.open_stacks().is_empty());
+        // Completed records keep the lane.
+        let trace = t.snapshot();
+        assert!(trace.spans.iter().all(|s| s.tid == lane));
+
+        // A span opened on another thread lands on a different lane.
+        let other = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    drop(t.span("worker"));
+                    thread_lane()
+                })
+                .join()
+                .unwrap()
+        });
+        assert_ne!(other, lane);
+        assert_eq!(t.snapshot().span("worker").unwrap().tid, other);
+    }
+
+    #[test]
+    fn v1_trace_documents_still_parse() {
+        // A wire-version-1 document: spans lack `tid`, histograms lack
+        // `finite_count`.
+        let text = r#"{
+            "version": 1,
+            "spans": [{"id": 1, "parent": null, "name": "pipeline",
+                       "start_ns": 10, "duration_ns": 20, "bytes": 0}],
+            "counters": [],
+            "histograms": [{"name": "loss", "count": 4, "sum": 8.0,
+                            "min": 1.0, "max": 3.0, "buckets": [[0, 2], [1, 2]]}]
+        }"#;
+        let trace: Trace = crate::json::from_str(text).unwrap();
+        assert_eq!(trace.span("pipeline").unwrap().tid, 0);
+        let h = trace.histogram("loss").unwrap();
+        assert_eq!(h.finite_count, 4, "v1 histograms default finite_count to count");
+        assert!((h.mean() - 2.0).abs() < 1e-12);
     }
 
     #[test]

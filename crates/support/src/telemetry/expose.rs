@@ -1,0 +1,376 @@
+//! Live metrics exposition: a tiny std-only HTTP server publishing the
+//! telemetry registry in Prometheus text exposition format.
+//!
+//! [`MetricsServer::start`] binds a `std::net::TcpListener` (port 0 picks
+//! an ephemeral port — the bound address is available via
+//! [`MetricsServer::addr`]) and spawns two threads:
+//!
+//! - a **snapshot publisher** that re-renders the registry into the
+//!   exposition text at a fixed interval, so scrapes never contend with
+//!   the recording hot path for more than one snapshot clone; and
+//! - a **server** that answers `GET /metrics` with the latest published
+//!   text, `GET /healthz` with `ok`, and anything else with 404.
+//!
+//! Both threads poll a shutdown flag; [`MetricsServer::shutdown`] (or
+//! dropping the server) stops and joins them. The exposition contains:
+//!
+//! - every counter as `entmatcher_<name>_total`;
+//! - every histogram as a native Prometheus histogram
+//!   (`_bucket{le="..."}` / `_sum` / `_count`) whose `le` bounds are the
+//!   registry's power-of-two bucket upper edges;
+//! - per-span-name aggregates `entmatcher_span_seconds_total`,
+//!   `entmatcher_span_calls_total`, and `entmatcher_span_bytes_total`
+//!   (completed spans only); and
+//! - an `entmatcher_up 1` gauge, so scrapers always see at least one
+//!   sample.
+//!
+//! The CLI starts a server when `--metrics ADDR` or
+//! `ENTMATCHER_METRICS_ADDR` is set, holding it open for the duration of
+//! the command (plus `ENTMATCHER_METRICS_LINGER_MS`, so short commands
+//! stay scrapable).
+
+use super::{Telemetry, Trace, UNDERFLOW_BUCKET};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable naming the address to expose metrics on.
+pub const ENV_ADDR: &str = "ENTMATCHER_METRICS_ADDR";
+
+/// Environment variable: how long (milliseconds) the CLI keeps the server
+/// alive after its command finishes.
+pub const ENV_LINGER_MS: &str = "ENTMATCHER_METRICS_LINGER_MS";
+
+/// The `ENTMATCHER_METRICS_ADDR` setting, normalized: `None` when unset,
+/// empty, or `0`.
+pub fn env_metrics_addr() -> Option<String> {
+    match std::env::var(ENV_ADDR) {
+        Ok(v) if !v.is_empty() && v != "0" => Some(v),
+        _ => None,
+    }
+}
+
+/// The `ENTMATCHER_METRICS_LINGER_MS` setting (0 when unset or
+/// unparsable).
+pub fn env_linger() -> Duration {
+    Duration::from_millis(
+        std::env::var(ENV_LINGER_MS)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    )
+}
+
+/// A running metrics exposition server (see the module docs).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, port 0 for ephemeral) and
+    /// starts serving `registry` with a 250 ms snapshot-publish interval.
+    pub fn start(registry: &'static Telemetry, addr: &str) -> std::io::Result<MetricsServer> {
+        Self::start_with_interval(registry, addr, Duration::from_millis(250))
+    }
+
+    /// Like [`Self::start`] with an explicit publish interval (tests use a
+    /// short one).
+    pub fn start_with_interval(
+        registry: &'static Telemetry,
+        addr: &str,
+        interval: Duration,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let page = Arc::new(Mutex::new(render_prometheus(&registry.snapshot())));
+
+        let publisher = {
+            let stop = Arc::clone(&stop);
+            let page = Arc::clone(&page);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    sleep_poll(&stop, interval);
+                    let text = render_prometheus(&registry.snapshot());
+                    *page.lock().expect("metrics page lock poisoned") = text;
+                }
+            })
+        };
+
+        let server = {
+            let stop = Arc::clone(&stop);
+            let page = Arc::clone(&page);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => handle_connection(stream, &page),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+            })
+        };
+
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            threads: vec![publisher, server],
+        })
+    }
+
+    /// The actually-bound address (resolves port 0 to the assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops and joins the publisher and server threads.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Sleeps up to `total`, polling `stop` every 25 ms so shutdown stays
+/// prompt even with long publish intervals.
+fn sleep_poll(stop: &AtomicBool, total: Duration) {
+    let mut slept = Duration::ZERO;
+    while slept < total && !stop.load(Ordering::Relaxed) {
+        let step = (total - slept).min(Duration::from_millis(25));
+        std::thread::sleep(step);
+        slept += step;
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, page: &Mutex<String>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    // Read until the end of the request head (or a small cap — we only
+    // need the request line).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let body = page.lock().expect("metrics page lock poisoned").clone();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Sanitizes a registry metric name into a Prometheus metric name: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_` (dots included, so
+/// `sinkhorn.col_dev` → `sinkhorn_col_dev`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes a label value per the exposition format: backslash, quote, and
+/// newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders a trace snapshot as Prometheus text exposition (format
+/// version 0.0.4). Deterministic: metric families appear in sorted-name
+/// order (the snapshot's own order), spans grouped by name.
+pub fn render_prometheus(trace: &Trace) -> String {
+    let mut out = String::new();
+
+    out.push_str("# HELP entmatcher_up Whether the entmatcher process is serving metrics.\n");
+    out.push_str("# TYPE entmatcher_up gauge\n");
+    out.push_str("entmatcher_up 1\n");
+
+    for counter in &trace.counters {
+        let name = format!("entmatcher_{}_total", sanitize(&counter.name));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", counter.value);
+    }
+
+    for hist in &trace.histograms {
+        let base = format!("entmatcher_{}", sanitize(&hist.name));
+        let _ = writeln!(out, "# TYPE {base} histogram");
+        // Underflow samples (zero / negative / NaN) sit below every
+        // positive bucket edge, so they seed the cumulative count.
+        let mut cum: u64 = hist
+            .buckets
+            .iter()
+            .filter(|&&(b, _)| b == UNDERFLOW_BUCKET)
+            .map(|&(_, c)| c)
+            .sum();
+        for &(bucket, count) in &hist.buckets {
+            if bucket == UNDERFLOW_BUCKET {
+                continue;
+            }
+            cum += count;
+            let mut le = String::new();
+            write_f64(&mut le, (bucket as f64 + 1.0).exp2());
+            let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let mut sum = String::new();
+        write_f64(&mut sum, hist.sum);
+        let _ = writeln!(out, "{base}_sum {sum}");
+        let _ = writeln!(out, "{base}_count {}", hist.count);
+    }
+
+    // Per-span-name aggregates over completed spans.
+    let mut by_name: std::collections::BTreeMap<&str, (u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for span in &trace.spans {
+        let slot = by_name.entry(&span.name).or_insert((0, 0, 0));
+        slot.0 += span.duration_ns;
+        slot.1 += 1;
+        slot.2 += span.bytes;
+    }
+    if !by_name.is_empty() {
+        out.push_str("# TYPE entmatcher_span_seconds_total counter\n");
+        for (name, &(ns, _, _)) in &by_name {
+            let mut secs = String::new();
+            write_f64(&mut secs, ns as f64 / 1e9);
+            let _ = writeln!(
+                out,
+                "entmatcher_span_seconds_total{{span=\"{}\"}} {secs}",
+                escape_label(name)
+            );
+        }
+        out.push_str("# TYPE entmatcher_span_calls_total counter\n");
+        for (name, &(_, calls, _)) in &by_name {
+            let _ = writeln!(
+                out,
+                "entmatcher_span_calls_total{{span=\"{}\"}} {calls}",
+                escape_label(name)
+            );
+        }
+        out.push_str("# TYPE entmatcher_span_bytes_total counter\n");
+        for (name, &(_, _, bytes)) in &by_name {
+            let _ = writeln!(
+                out,
+                "entmatcher_span_bytes_total{{span=\"{}\"}} {bytes}",
+                escape_label(name)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::Telemetry;
+
+    #[test]
+    fn sanitize_and_escape() {
+        assert_eq!(sanitize("sinkhorn.col_dev"), "sinkhorn_col_dev");
+        assert_eq!(sanitize("a-b c:d"), "a_b_c:d");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn exposition_counts_histogram_cumulatively() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        for v in [0.5, 1.0, 1.5, 2.0, 0.0, f64::NAN] {
+            t.observe("dev", v);
+        }
+        t.add("rounds", 5);
+        drop(t.span("stage"));
+        let text = render_prometheus(&t.snapshot());
+        assert!(text.contains("entmatcher_up 1"));
+        assert!(text.contains("entmatcher_rounds_total 5"));
+        // Buckets: underflow {0, NaN} seeds cum=2; le=1 (bucket -1) -> 3;
+        // le=2 (bucket 0) -> 5; le=4 (bucket 1) -> 6; +Inf -> 6.
+        assert!(text.contains("entmatcher_dev_bucket{le=\"1\"} 3"), "{text}");
+        assert!(text.contains("entmatcher_dev_bucket{le=\"2\"} 5"), "{text}");
+        assert!(text.contains("entmatcher_dev_bucket{le=\"4\"} 6"), "{text}");
+        assert!(text.contains("entmatcher_dev_bucket{le=\"+Inf\"} 6"), "{text}");
+        assert!(text.contains("entmatcher_dev_sum 5"), "{text}");
+        assert!(text.contains("entmatcher_dev_count 6"), "{text}");
+        assert!(text.contains("entmatcher_span_calls_total{span=\"stage\"} 1"));
+        assert!(text.contains("entmatcher_span_seconds_total{span=\"stage\"}"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Span-stack sampling profiler.
+//!
+//! [`Profiler::start`] spawns a background thread that, at a fixed rate,
+//! reads every thread's currently-open span stack from the registry
+//! ([`Telemetry::open_stacks`]) and aggregates the observations into
+//! **collapsed-stack** lines — the `outer;inner;leaf count` format that
+//! flamegraph tooling (`flamegraph.pl`, `inferno`, speedscope) consumes
+//! directly.
+//!
+//! Sampling is cooperative with the registry's overhead contract: each
+//! tick first checks the relaxed enabled flag and touches nothing else
+//! when recording is off, and the instrumented code's own fast path is
+//! unchanged — the open-stack view is only maintained while recording is
+//! enabled, and only the sampler thread ever walks it. Stacks from
+//! different threads aggregate into the same profile (a span name
+//! identifies the work, not the worker).
+//!
+//! The CLI wires this as `--profile OUT.folded` on every command
+//! (sampling rate via `ENTMATCHER_PROFILE_HZ`, default 97 Hz — an odd
+//! rate, so the sampler does not run in lockstep with millisecond-aligned
+//! work).
+
+use super::Telemetry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable overriding the sampling rate in Hz.
+pub const ENV_HZ: &str = "ENTMATCHER_PROFILE_HZ";
+
+/// Default sampling rate.
+pub const DEFAULT_HZ: u32 = 97;
+
+/// The `ENTMATCHER_PROFILE_HZ` setting, clamped to `[1, 10_000]`
+/// ([`DEFAULT_HZ`] when unset or unparsable).
+pub fn env_profile_hz() -> u32 {
+    std::env::var(ENV_HZ)
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .map(|hz| hz.clamp(1, 10_000))
+        .unwrap_or(DEFAULT_HZ)
+}
+
+/// An aggregated sampling profile: collapsed span stacks with sample
+/// counts.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Profile {
+    /// Sampler wake-ups that found recording enabled.
+    pub ticks: u64,
+    /// Captured stack observations (one per thread with an open span, per
+    /// tick).
+    pub samples: u64,
+    stacks: BTreeMap<String, u64>,
+}
+
+impl Profile {
+    /// Number of times the collapsed stack `key` (e.g. `"pipeline;match"`)
+    /// was observed.
+    pub fn stack_count(&self, key: &str) -> u64 {
+        self.stacks.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether no stack was ever captured.
+    pub fn is_empty(&self) -> bool {
+        self.stacks.is_empty()
+    }
+
+    /// The collapsed stacks and their counts, sorted by stack.
+    pub fn stacks(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.stacks.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Renders the profile in collapsed-stack ("folded") format: one
+    /// `stack;frames count` line per distinct stack, sorted, newline
+    /// terminated. Feed to `flamegraph.pl` or paste into speedscope.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.stacks {
+            let _ = writeln!(out, "{stack} {count}");
+        }
+        out
+    }
+
+    fn record(&mut self, stacks: Vec<(u64, Vec<String>)>) {
+        self.ticks += 1;
+        for (_lane, frames) in stacks {
+            *self.stacks.entry(frames.join(";")).or_insert(0) += 1;
+            self.samples += 1;
+        }
+    }
+}
+
+/// A running sampler; [`Self::stop`] joins it and returns the profile.
+pub struct Profiler {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<Profile>,
+}
+
+impl Profiler {
+    /// Starts sampling `registry` at `hz` samples per second (clamped to
+    /// at least 1).
+    pub fn start(registry: &'static Telemetry, hz: u32) -> Profiler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let period = Duration::from_secs_f64(1.0 / hz.max(1) as f64);
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut profile = Profile::default();
+                while !stop.load(Ordering::Relaxed) {
+                    // One relaxed load when recording is off — the sampler
+                    // must not add overhead to uninstrumented runs.
+                    if registry.is_enabled() {
+                        profile.record(registry.open_stacks());
+                    }
+                    std::thread::sleep(period);
+                }
+                profile
+            })
+        };
+        Profiler { stop, handle }
+    }
+
+    /// Stops the sampler and returns the aggregated profile.
+    pub fn stop(self) -> Profile {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().expect("profiler thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaked_registry() -> &'static Telemetry {
+        Box::leak(Box::new(Telemetry::new()))
+    }
+
+    #[test]
+    fn captures_nested_stacks() {
+        let t = leaked_registry();
+        t.set_enabled(true);
+        let profiler = Profiler::start(t, 1000);
+        {
+            let _outer = t.span("outer");
+            let _inner = t.span("inner");
+            std::thread::sleep(Duration::from_millis(60));
+        }
+        let profile = profiler.stop();
+        assert!(profile.ticks > 0);
+        assert!(
+            profile.stack_count("outer;inner") > 0,
+            "folded:\n{}",
+            profile.to_folded()
+        );
+        assert!(profile.to_folded().contains("outer;inner "));
+    }
+
+    #[test]
+    fn disabled_registry_yields_no_samples() {
+        let t = leaked_registry();
+        let profiler = Profiler::start(t, 1000);
+        {
+            let _span = t.span("invisible");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        let profile = profiler.stop();
+        assert_eq!(profile.ticks, 0);
+        assert_eq!(profile.samples, 0);
+        assert!(profile.is_empty());
+    }
+
+    #[test]
+    fn hz_clamping() {
+        // env_profile_hz parses the env var; the pure clamp logic is what
+        // matters — exercise via the default path (no var set in tests).
+        assert!(env_profile_hz() >= 1);
+    }
+}

@@ -41,16 +41,24 @@ fn golden_json_round_trip() {
     // Wire-shape guarantees consumers rely on: top-level version and the
     // three sections, span records keyed by stable field names.
     let json = trace.to_json();
-    assert_eq!(json.field::<u64>("version").unwrap(), 1);
+    assert_eq!(json.field::<u64>("version").unwrap(), 2);
     let spans = json.get("spans").and_then(|s| s.as_array()).expect("spans");
-    for key in ["id", "parent", "name", "start_ns", "duration_ns", "bytes"] {
+    for key in [
+        "id",
+        "parent",
+        "name",
+        "start_ns",
+        "duration_ns",
+        "bytes",
+        "tid",
+    ] {
         assert!(spans[0].get(key).is_some(), "span field {key} missing");
     }
     let hists = json
         .get("histograms")
         .and_then(|h| h.as_array())
         .expect("histograms");
-    for key in ["name", "count", "sum", "min", "max", "buckets"] {
+    for key in ["name", "count", "finite_count", "sum", "min", "max", "buckets"] {
         assert!(hists[0].get(key).is_some(), "histogram field {key} missing");
     }
 }

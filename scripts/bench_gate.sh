@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Performance gate for the similarity kernels: re-runs the kernels
+# benchmark at full size and fails when the best blocked-GEMM throughput
+# regresses more than ENTMATCHER_BENCH_TOLERANCE_PCT (default 20) percent
+# below the committed baseline artifact `BENCH_kernels.json`.
+#
+# This is deliberately a separate script from verify.sh: the full bench
+# takes minutes and wall-clock throughput is only meaningful on a quiet
+# machine, so the gate is for perf-sensitive changes (and dedicated perf
+# CI), not every test run.
+#
+#   sh scripts/bench_gate.sh            # gate against BENCH_kernels.json
+#   ENTMATCHER_BENCH_TOLERANCE_PCT=10 sh scripts/bench_gate.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="BENCH_kernels.json"
+TOLERANCE="${ENTMATCHER_BENCH_TOLERANCE_PCT:-20}"
+
+[ -f "$BASELINE" ] || {
+    echo "bench_gate: baseline $BASELINE missing (run the kernels bench and commit its output)" >&2
+    exit 1
+}
+
+# Best blocked-kernel GFLOP/s in a kernel-bench JSON artifact. The format
+# is the in-tree writer's pretty-printed output: one `"key": value` pair
+# per line, with each entry's "kernel" line preceding its "gflops" line.
+max_blocked_gflops() {
+    awk '
+        /"kernel":/ { kernel = $2; gsub(/[",]/, "", kernel) }
+        /"gflops":/ && kernel == "blocked" {
+            v = $2 + 0
+            if (v > max) max = v
+        }
+        END {
+            if (max <= 0) exit 1
+            print max
+        }
+    ' "$1"
+}
+
+BASE=$(max_blocked_gflops "$BASELINE") || {
+    echo "bench_gate: no blocked-kernel entry in $BASELINE" >&2
+    exit 1
+}
+
+FRESH_OUT=$(mktemp)
+trap 'rm -f "$FRESH_OUT"' EXIT
+
+# Full-size run: QUICK must be off or the timings are meaningless.
+echo "bench_gate: running kernels bench (full size, this takes a while)..."
+unset ENTMATCHER_BENCH_QUICK || true
+ENTMATCHER_KERNEL_BENCH_OUT="$FRESH_OUT" \
+    cargo bench --offline -p entmatcher-bench --bench kernels >/dev/null
+
+FRESH=$(max_blocked_gflops "$FRESH_OUT") || {
+    echo "bench_gate: no blocked-kernel entry in fresh bench output" >&2
+    exit 1
+}
+
+awk -v fresh="$FRESH" -v base="$BASE" -v tol="$TOLERANCE" 'BEGIN {
+    floor = base * (1 - tol / 100)
+    if (fresh < floor) {
+        printf "bench_gate: FAIL: blocked GEMM %.2f GFLOP/s is below the %.2f floor (baseline %.2f, tolerance %s%%)\n", fresh, floor, base, tol
+        exit 1
+    }
+    printf "bench_gate: ok: blocked GEMM %.2f GFLOP/s vs baseline %.2f (floor %.2f, tolerance %s%%)\n", fresh, base, floor, tol
+}'

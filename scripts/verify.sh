@@ -45,11 +45,76 @@ done
 "$ENTMATCHER" match --data "$SMOKE/plus" --embeddings "$SMOKE/plus-emb" \
     --algorithm hungarian --dummies --trace "$SMOKE/trace-pad.json" \
     --out "$SMOKE/pairs-pad.tsv" >/dev/null
-"$ENTMATCHER" trace --file "$SMOKE/trace-pad.json" | grep -q "pad" || {
+# Capture before grepping: `grep -q` exits at first match and the broken
+# pipe would panic the renderer mid-print.
+RENDERED_PAD=$("$ENTMATCHER" trace --file "$SMOKE/trace-pad.json")
+echo "$RENDERED_PAD" | grep -q "pad" || {
     echo "verify: pad span missing from padded trace" >&2
     exit 1
 }
 echo "verify: telemetry smoke test passed"
+
+# Flight-recorder smoke: serve live metrics from a match run on an
+# ephemeral port, scrape once, and check the exposition carries a known
+# pipeline counter. The linger keeps the server up after the (fast)
+# command so the scrape cannot race its exit.
+ENTMATCHER_METRICS_LINGER_MS=15000 "$ENTMATCHER" match \
+    --data "$SMOKE/data" --embeddings "$SMOKE/emb" --algorithm csls \
+    --metrics 127.0.0.1:0 --out "$SMOKE/pairs-metrics.tsv" \
+    >/dev/null 2>"$SMOKE/metrics.err" &
+METRICS_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^metrics: serving http://\([^/]*\)/metrics$#\1#p' \
+        "$SMOKE/metrics.err" 2>/dev/null || true)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || {
+    echo "verify: metrics server never announced its address" >&2
+    kill "$METRICS_PID" 2>/dev/null || true
+    exit 1
+}
+SCRAPE=""
+for _ in $(seq 1 100); do
+    SCRAPE=$(curl -sf "http://$ADDR/metrics" || true)
+    echo "$SCRAPE" | grep -q "entmatcher_csls_neighborhoods_total" && break
+    sleep 0.1
+done
+echo "$SCRAPE" | grep -q "entmatcher_up 1" || {
+    echo "verify: /metrics missing entmatcher_up gauge" >&2
+    kill "$METRICS_PID" 2>/dev/null || true
+    exit 1
+}
+echo "$SCRAPE" | grep -q "entmatcher_csls_neighborhoods_total" || {
+    echo "verify: /metrics missing csls counter" >&2
+    kill "$METRICS_PID" 2>/dev/null || true
+    exit 1
+}
+curl -sf "http://$ADDR/healthz" | grep -q "ok" || {
+    echo "verify: /healthz not answering" >&2
+    kill "$METRICS_PID" 2>/dev/null || true
+    exit 1
+}
+kill "$METRICS_PID" 2>/dev/null || true
+wait "$METRICS_PID" 2>/dev/null || true
+echo "verify: metrics exposition smoke passed"
+
+# Chrome trace + profiler smoke: the same match exported as trace_event
+# JSON (must mention traceEvents) and a folded profile file.
+ENTMATCHER_TRACE_FORMAT=chrome "$ENTMATCHER" match \
+    --data "$SMOKE/data" --embeddings "$SMOKE/emb" --algorithm csls \
+    --trace "$SMOKE/chrome.json" --profile "$SMOKE/profile.folded" \
+    --out "$SMOKE/pairs-chrome.tsv" >/dev/null
+grep -q '"traceEvents"' "$SMOKE/chrome.json" || {
+    echo "verify: chrome trace export missing traceEvents" >&2
+    exit 1
+}
+[ -f "$SMOKE/profile.folded" ] || {
+    echo "verify: folded profile not written" >&2
+    exit 1
+}
+echo "verify: flight recorder smoke passed"
 
 # Kernel-bench smoke: run the kernels benchmark at its smallest size and
 # check the JSON artifact self-check passes and a blocked-kernel entry is
