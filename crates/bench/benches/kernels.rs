@@ -1,11 +1,18 @@
-//! Similarity-kernel benchmark: naive vs blocked GEMM vs fused top-k.
+//! Similarity-kernel benchmark: naive vs blocked GEMM (SIMD and scalar
+//! micro-kernels) vs fused top-k, plus pool-vs-spawn dispatch overhead.
 //!
 //! Unlike the wall-clock microbenches, this target emits a machine-readable
 //! artifact — `BENCH_kernels.json` — recording GFLOP/s and wall time for
 //! every (kernel, n, d) configuration, so the perf trajectory of the
-//! similarity hot path is tracked in-repo. The JSON is self-checked after
-//! writing: the run fails if it does not parse back or if the naive /
-//! blocked entries are missing.
+//! similarity hot path is tracked in-repo. The `blocked` rows use the
+//! runtime-dispatched micro-kernel (AVX2 where available); the
+//! `blocked_scalar` rows force the scalar reference kernel, so the pair is
+//! the in-repo simd-vs-scalar comparison. The `par_pool`/`par_spawn` rows
+//! run the same many-small-calls row sweep through the persistent
+//! work-stealing pool and through per-call `thread::scope` spawning — the
+//! dispatch-overhead comparison that motivated the pool. The JSON is
+//! self-checked after writing: the run fails if it does not parse back or
+//! if the naive / blocked / blocked_scalar entries are missing.
 //!
 //! Modes:
 //! * default — 2k and 10k entities, dims 64/128/300 (dense kernels at 2k,
@@ -21,7 +28,10 @@
 //! `BENCH_kernels.json` in the workspace root (quick mode defaults into
 //! the temp dir so `cargo test` runs do not dirty the tree).
 
-use entmatcher_linalg::{fused_topk, matmul_blocked, matmul_naive, Matrix};
+use entmatcher_linalg::parallel::{self, par_row_chunks_mut};
+use entmatcher_linalg::{
+    fused_topk, matmul_blocked, matmul_blocked_with, matmul_naive, Matrix, SimdLevel,
+};
 use entmatcher_support::json::{self, Json, Map, ToJson};
 use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 use std::hint::black_box;
@@ -112,6 +122,19 @@ fn bench_config(
             reps,
         });
         eprintln!("kernels: blocked n={n} d={d}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
+        let (secs, reps) = measure(max_reps, || {
+            black_box(matmul_blocked_with(&a, &b, SimdLevel::Scalar).unwrap());
+        });
+        entries.push(Entry {
+            kernel: "blocked_scalar",
+            m: n,
+            n,
+            d,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            reps,
+        });
+        eprintln!("kernels: blocked_scalar n={n} d={d}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
     }
     let (secs, reps) = measure(max_reps, || {
         black_box(fused_topk(&a, &b, fused_k).unwrap());
@@ -126,6 +149,76 @@ fn bench_config(
         reps,
     });
     eprintln!("kernels: fused   n={n} d={d} k={fused_k}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
+}
+
+/// The row sweep both dispatch strategies execute: one multiply and one
+/// add per element — trivially cheap on purpose, so the measurement is
+/// dominated by how the work gets onto threads, not by the work itself.
+fn sweep_rows(chunk: &mut [f32]) {
+    for v in chunk.iter_mut() {
+        *v = *v * 0.999 + 1e-6;
+    }
+}
+
+/// Measures `calls` back-to-back parallel row sweeps dispatched through
+/// the persistent pool (`par_pool`) and through a fresh `thread::scope`
+/// with static contiguous chunks per call (`par_spawn` — the strategy the
+/// pool replaced).
+fn bench_pool_vs_spawn(
+    entries: &mut Vec<Entry>,
+    rows: usize,
+    cols: usize,
+    calls: usize,
+    max_reps: u32,
+) {
+    let mut m = random_embeddings(rows, cols, 0x77);
+    let flops = 2.0 * (rows * cols * calls) as f64;
+    let (secs, reps) = measure(max_reps, || {
+        for _ in 0..calls {
+            par_row_chunks_mut(m.as_mut_slice(), cols, |_, chunk| sweep_rows(chunk));
+        }
+        black_box(&mut m);
+    });
+    entries.push(Entry {
+        kernel: "par_pool",
+        m: rows,
+        n: calls,
+        d: cols,
+        seconds: secs,
+        gflops: flops / secs / 1e9,
+        reps,
+    });
+    eprintln!(
+        "kernels: par_pool  rows={rows} d={cols} calls={calls}: {secs:.4}s ({:.2} GFLOP/s)",
+        flops / secs / 1e9
+    );
+
+    let workers = parallel::workers();
+    let chunk_rows = rows.div_ceil(workers).max(1);
+    let (secs, reps) = measure(max_reps, || {
+        for _ in 0..calls {
+            let data = m.as_mut_slice();
+            std::thread::scope(|scope| {
+                for chunk in data.chunks_mut(chunk_rows * cols) {
+                    scope.spawn(|| sweep_rows(chunk));
+                }
+            });
+        }
+        black_box(&mut m);
+    });
+    entries.push(Entry {
+        kernel: "par_spawn",
+        m: rows,
+        n: calls,
+        d: cols,
+        seconds: secs,
+        gflops: flops / secs / 1e9,
+        reps,
+    });
+    eprintln!(
+        "kernels: par_spawn rows={rows} d={cols} calls={calls}: {secs:.4}s ({:.2} GFLOP/s)",
+        flops / secs / 1e9
+    );
 }
 
 fn main() {
@@ -158,12 +251,15 @@ fn main() {
     let mut entries = Vec::new();
     if quick {
         bench_config(&mut entries, 256, 64, true, 10, 3);
+        bench_pool_vs_spawn(&mut entries, 64, 64, 20, 2);
     } else {
         bench_config(&mut entries, 2000, 64, true, 10, 5);
         bench_config(&mut entries, 2000, 128, true, 10, 5);
         bench_config(&mut entries, 2000, 300, true, 10, 5);
         // The acceptance configuration: 10k x 10k, d = 128.
         bench_config(&mut entries, 10_000, 128, true, 10, 2);
+        // Dispatch overhead: many cheap parallel calls on a small matrix.
+        bench_pool_vs_spawn(&mut entries, 512, 128, 200, 3);
         if full {
             // Dense would materialize a 30k x 30k (3.6 GB) matrix; only
             // the fused kernel runs at this scale.
@@ -178,6 +274,8 @@ fn main() {
         "flops = 2*m*n*d per pass; fused_topk includes the top-k reduction",
     );
     doc.insert("threads", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    doc.insert("pool_width", parallel::workers());
+    doc.insert("simd", entmatcher_linalg::simd::active().name());
     doc.insert("quick", quick);
     doc.insert("entries", &entries);
     let text = Json::Obj(doc).pretty();
@@ -190,7 +288,7 @@ fn main() {
         .get("entries")
         .and_then(|e| e.as_array())
         .expect("entries array");
-    for kernel in ["naive", "blocked"] {
+    for kernel in ["naive", "blocked", "blocked_scalar", "par_pool", "par_spawn"] {
         let found = entries_json.iter().any(|e| {
             e.get("kernel").and_then(|k| k.as_str()) == Some(kernel)
                 && e.get("gflops")

@@ -2,7 +2,7 @@
 //! highest-scoring target, independently.
 
 use super::{MatchContext, Matcher, Matching};
-use entmatcher_linalg::parallel::par_map_rows;
+use entmatcher_linalg::parallel::{par_map_rows_grained, Grain};
 use entmatcher_linalg::{argmax, Matrix};
 
 /// The baseline matcher: per-row argmax. Local-optimal, unidirectional,
@@ -16,8 +16,11 @@ impl Matcher for Greedy {
     }
 
     fn run(&self, scores: &Matrix, _ctx: &MatchContext) -> Matching {
-        let picks: Vec<Option<u32>> =
-            par_map_rows(scores.rows(), |i| argmax(scores.row(i)).map(|j| j as u32));
+        // Each pick scans one full n_t-wide row.
+        let grain = Grain::for_item_cost(scores.cols());
+        let picks: Vec<Option<u32>> = par_map_rows_grained(scores.rows(), grain, |i| {
+            argmax(scores.row(i)).map(|j| j as u32)
+        });
         Matching::new(picks)
     }
 

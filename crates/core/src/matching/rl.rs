@@ -15,7 +15,7 @@
 //! sensitive to pairwise-score quality — is preserved.
 
 use super::{MatchContext, Matcher, Matching};
-use entmatcher_linalg::parallel::par_map_rows;
+use entmatcher_linalg::parallel::{par_map_rows_grained, Grain};
 use entmatcher_linalg::rank::top_k_desc;
 use entmatcher_linalg::Matrix;
 use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
@@ -68,8 +68,12 @@ impl Matcher for RlMatcher {
         }
         let shortlist = self.shortlist.max(1).min(n_t);
 
-        // Per-source shortlists (action spaces), in parallel.
-        let actions: Vec<Vec<usize>> = par_map_rows(n_s, |i| top_k_desc(scores.row(i), shortlist));
+        // Per-source shortlists (action spaces), in parallel; each item
+        // selects from a full n_t-wide row.
+        let actions: Vec<Vec<usize>> =
+            par_map_rows_grained(n_s, Grain::for_item_cost(n_t), |i| {
+                top_k_desc(scores.row(i), shortlist)
+            });
 
         // --- Pre-filter: lock mutual-NN pairs with a confident margin ----
         let best_source_of_target = compute_column_argmax(scores);

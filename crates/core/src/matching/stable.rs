@@ -8,7 +8,7 @@
 //! assigned partners.
 
 use super::{MatchContext, Matcher, Matching};
-use entmatcher_linalg::parallel::par_map_rows;
+use entmatcher_linalg::parallel::{par_map_rows_grained, Grain};
 use entmatcher_linalg::rank::argsort_desc;
 use entmatcher_linalg::Matrix;
 use std::collections::VecDeque;
@@ -30,7 +30,10 @@ impl Matcher for StableMarriage {
         // Full preference lists per source — this is the memory hog that
         // makes SMat the least space-efficient algorithm in the paper's
         // Figure 5 / Table 6.
-        let prefs: Vec<Vec<usize>> = par_map_rows(n_s, |i| argsort_desc(scores.row(i)));
+        let prefs: Vec<Vec<usize>> =
+            par_map_rows_grained(n_s, Grain::for_item_cost(n_t), |i| {
+                argsort_desc(scores.row(i))
+            });
         let mut next_choice = vec![0usize; n_s];
         let mut engaged_to: Vec<Option<u32>> = vec![None; n_t]; // target -> source
         let mut queue: VecDeque<usize> = (0..n_s).collect();

@@ -11,7 +11,7 @@
 //! are boosted.
 
 use super::ScoreOptimizer;
-use entmatcher_linalg::parallel::{par_map_rows, par_row_chunks_mut};
+use entmatcher_linalg::parallel::{par_map_rows_grained, par_row_chunks_mut, Grain};
 use entmatcher_linalg::rank::{col_top_k_means, top_k_mean};
 use entmatcher_linalg::Matrix;
 use entmatcher_support::telemetry;
@@ -41,8 +41,12 @@ impl ScoreOptimizer for Csls {
         if n_s == 0 || n_t == 0 {
             return scores;
         }
-        // phi_s: per-source mean of top-k scores (row-wise).
-        let phi_s: Vec<f32> = par_map_rows(n_s, |i| top_k_mean(scores.row(i), self.k));
+        // phi_s: per-source mean of top-k scores (row-wise). Each item
+        // scans a full n_t-wide row — hint that cost so few-source
+        // instances still fan out.
+        let phi_s: Vec<f32> = par_map_rows_grained(n_s, Grain::for_item_cost(n_t), |i| {
+            top_k_mean(scores.row(i), self.k)
+        });
         // phi_t: per-target mean of top-k scores (column-wise). Streamed
         // into per-column bounded heaps in parallel over column blocks —
         // no n_t x n_s transposed copy is allocated.

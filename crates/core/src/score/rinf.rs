@@ -11,7 +11,7 @@
 //! negated average rank (lower rank = better).
 
 use super::ScoreOptimizer;
-use entmatcher_linalg::parallel::{par_map_rows, par_row_chunks_mut};
+use entmatcher_linalg::parallel::{par_map_rows_grained, par_row_chunks_mut, Grain};
 use entmatcher_linalg::rank::{col_maxes, rank_desc, top_k_desc};
 use entmatcher_linalg::Matrix;
 use entmatcher_support::telemetry;
@@ -55,7 +55,7 @@ impl ScoreOptimizer for RInf {
         // Row maxima (best source per target uses column maxima; best
         // target per source uses row maxima). The column maxima stream the
         // matrix over column blocks — no transposed copy just for maxima.
-        let row_max: Vec<f32> = par_map_rows(n_s, |i| {
+        let row_max: Vec<f32> = par_map_rows_grained(n_s, Grain::for_item_cost(n_t), |i| {
             scores
                 .row(i)
                 .iter()
@@ -182,7 +182,7 @@ impl ScoreOptimizer for RInfProgressive {
         if n_s == 0 || n_t == 0 {
             return scores;
         }
-        let row_max: Vec<f32> = par_map_rows(n_s, |i| {
+        let row_max: Vec<f32> = par_map_rows_grained(n_s, Grain::for_item_cost(n_t), |i| {
             scores
                 .row(i)
                 .iter()

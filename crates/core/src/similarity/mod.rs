@@ -5,7 +5,7 @@
 //! the paper's convention (§2.2, footnote 3), *higher scores are always
 //! preferred*: distance metrics are negated.
 
-use entmatcher_linalg::parallel::par_row_chunks_mut;
+use entmatcher_linalg::parallel::{par_row_chunks_mut_grained, Grain};
 use entmatcher_linalg::{matmul_transposed, normalize_rows_l2, Matrix};
 use entmatcher_support::impl_json_enum;
 
@@ -79,7 +79,9 @@ fn pairwise(source: &Matrix, target: &Matrix, f: impl Fn(&[f32], &[f32]) -> f32 
         return Matrix::zeros(m, n);
     }
     let mut out = Matrix::zeros(m, n);
-    par_row_chunks_mut(out.as_mut_slice(), n, |start_row, chunk| {
+    // One output row evaluates `f` against every target row: n * d work.
+    let grain = Grain::for_item_cost(n.saturating_mul(source.cols().max(1)));
+    par_row_chunks_mut_grained(out.as_mut_slice(), n, grain, |start_row, chunk| {
         for (local, out_row) in chunk.chunks_exact_mut(n).enumerate() {
             let a = source.row(start_row + local);
             for (j, slot) in out_row.iter_mut().enumerate() {

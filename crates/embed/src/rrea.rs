@@ -4,7 +4,7 @@
 use crate::encoder::{Encoder, UnifiedEmbeddings};
 use crate::propagation::{inverse_frequency_weights, propagate, PropagationConfig};
 use entmatcher_graph::{AlignmentSet, EntityId, KgPair, Link};
-use entmatcher_linalg::parallel::par_map_rows;
+use entmatcher_linalg::parallel::{par_map_rows_grained, Grain};
 use entmatcher_linalg::{dot, Matrix};
 use entmatcher_support::telemetry;
 use std::collections::HashSet;
@@ -135,28 +135,38 @@ pub fn mutual_nearest_neighbors(
     if source.rows() == 0 || target.rows() == 0 {
         return Vec::new();
     }
-    let best_t: Vec<(u32, f32)> = par_map_rows(source.rows(), |i| {
-        let row = source.row(i);
-        let mut best = (0u32, f32::NEG_INFINITY);
-        for j in 0..target.rows() {
-            let s = dot(row, target.row(j));
-            if s > best.1 {
-                best = (j as u32, s);
+    // Each item dots one row against the entire other side: n * d work.
+    let d = source.cols().max(1);
+    let best_t: Vec<(u32, f32)> = par_map_rows_grained(
+        source.rows(),
+        Grain::for_item_cost(target.rows().saturating_mul(d)),
+        |i| {
+            let row = source.row(i);
+            let mut best = (0u32, f32::NEG_INFINITY);
+            for j in 0..target.rows() {
+                let s = dot(row, target.row(j));
+                if s > best.1 {
+                    best = (j as u32, s);
+                }
             }
-        }
-        best
-    });
-    let best_s: Vec<(u32, f32)> = par_map_rows(target.rows(), |j| {
-        let row = target.row(j);
-        let mut best = (0u32, f32::NEG_INFINITY);
-        for i in 0..source.rows() {
-            let s = dot(row, source.row(i));
-            if s > best.1 {
-                best = (i as u32, s);
+            best
+        },
+    );
+    let best_s: Vec<(u32, f32)> = par_map_rows_grained(
+        target.rows(),
+        Grain::for_item_cost(source.rows().saturating_mul(d)),
+        |j| {
+            let row = target.row(j);
+            let mut best = (0u32, f32::NEG_INFINITY);
+            for i in 0..source.rows() {
+                let s = dot(row, source.row(i));
+                if s > best.1 {
+                    best = (i as u32, s);
+                }
             }
-        }
-        best
-    });
+            best
+        },
+    );
     let mut out = Vec::new();
     for (i, &(j, sim)) in best_t.iter().enumerate() {
         if sim >= threshold && best_s[j as usize].0 as usize == i {

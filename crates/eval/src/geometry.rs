@@ -7,7 +7,7 @@
 //! show the issues exist in the synthetic embedding spaces and that the
 //! score optimizers reduce them.
 
-use entmatcher_linalg::parallel::par_map_rows;
+use entmatcher_linalg::parallel::{par_map_rows_grained, Grain};
 use entmatcher_linalg::rank::top_k_desc;
 use entmatcher_linalg::stats::{mean, std_dev};
 use entmatcher_linalg::Matrix;
@@ -44,7 +44,10 @@ pub fn k_occurrence(scores: &Matrix, k: usize) -> Vec<u32> {
     if n_s == 0 || n_t == 0 {
         return counts;
     }
-    let tops: Vec<Vec<usize>> = par_map_rows(n_s, |i| top_k_desc(scores.row(i), k));
+    let tops: Vec<Vec<usize>> =
+        par_map_rows_grained(n_s, Grain::for_item_cost(n_t), |i| {
+            top_k_desc(scores.row(i), k)
+        });
     for row in tops {
         for j in row {
             counts[j] += 1;

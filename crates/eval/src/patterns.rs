@@ -5,14 +5,15 @@
 //! (CSLS, RInf) shine; when it is large, global-constraint methods (SMat,
 //! RL) catch up. This module computes that statistic.
 
-use entmatcher_linalg::parallel::par_map_rows;
+use entmatcher_linalg::parallel::{par_map_rows_grained, Grain};
 use entmatcher_linalg::rank::top_k_desc;
 use entmatcher_linalg::stats::{mean, std_dev};
 use entmatcher_linalg::Matrix;
 
 /// Per-row standard deviation of the top-`k` scores.
 pub fn top_k_std_per_row(scores: &Matrix, k: usize) -> Vec<f32> {
-    par_map_rows(scores.rows(), |i| {
+    // Each item selects from a full row of the score matrix.
+    par_map_rows_grained(scores.rows(), Grain::for_item_cost(scores.cols()), |i| {
         let row = scores.row(i);
         let top: Vec<f32> = top_k_desc(row, k).into_iter().map(|j| row[j]).collect();
         std_dev(&top)
@@ -28,7 +29,7 @@ pub fn avg_top_k_std(scores: &Matrix, k: usize) -> f32 {
 /// Mean margin between each row's best and second-best score — an
 /// alternative sharpness measure used by the RL pre-filter analysis.
 pub fn avg_top1_margin(scores: &Matrix) -> f32 {
-    let margins = par_map_rows(scores.rows(), |i| {
+    let margins = par_map_rows_grained(scores.rows(), Grain::for_item_cost(scores.cols()), |i| {
         let row = scores.row(i);
         let top = top_k_desc(row, 2);
         match top.as_slice() {

@@ -26,7 +26,7 @@
 use crate::error::LinalgError;
 use crate::gemm::{tile_into, tile_stride, PackedB, NR};
 use crate::matrix::Matrix;
-use crate::parallel::par_row_chunks_mut;
+use crate::parallel::{par_row_chunks_mut_grained, Grain};
 use crate::Result;
 use entmatcher_support::telemetry;
 
@@ -191,7 +191,11 @@ fn fused_scan<S: Send + Default + Clone>(
     let tiles = std::sync::atomic::AtomicU64::new(0);
     let visit = &visit;
     let packed_ref = &packed;
-    par_row_chunks_mut(&mut state, 1, |start_row, states| {
+    // One state item scans the entire packed operand (n * d work); never
+    // split tasks below the streaming tile height.
+    let grain = Grain::for_item_cost(packed.n().saturating_mul(packed.d().max(1)))
+        .at_least(TILE_ROWS);
+    par_row_chunks_mut_grained(&mut state, 1, grain, |start_row, states| {
         let rows = states.len();
         let mut scratch = vec![0.0f32; TILE_ROWS * stride];
         let mut local_tiles = 0u64;

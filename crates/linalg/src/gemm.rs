@@ -29,7 +29,8 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
-use crate::parallel::par_row_chunks_mut;
+use crate::parallel::{par_row_chunks_mut_grained, Grain};
+use crate::simd::SimdLevel;
 use crate::Result;
 use entmatcher_support::telemetry;
 
@@ -139,6 +140,11 @@ fn micro_kernel<const MRV: usize>(a_rows: [&[f32]; MRV], strip: &[f32]) -> [[f32
 /// a row-major buffer of stride `out_stride` whose column 0 corresponds to
 /// output column `col_base`. Columns past `packed.n()` (the zero-padded
 /// tail lanes) are trimmed. Returns the number of micro-kernel calls.
+///
+/// Dispatches on `level`: the scalar path runs the [`MR`]x[`NR`] reference
+/// micro-kernel; the vector paths run the wider
+/// [`crate::simd::MR_SIMD`]-row AVX2 kernels. All levels except
+/// [`SimdLevel::Fma`] produce bitwise-identical output.
 fn block_into(
     a: &Matrix,
     row0: usize,
@@ -149,7 +155,24 @@ fn block_into(
     out: &mut [f32],
     out_stride: usize,
     col_base: usize,
+    level: SimdLevel,
 ) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if level != SimdLevel::Scalar {
+        return block_into_simd(
+            a,
+            row0,
+            rows,
+            packed,
+            s0,
+            s1,
+            out,
+            out_stride,
+            col_base,
+            level == SimdLevel::Fma,
+        );
+    }
+    let _ = level;
     let mut tiles = 0u64;
     let mut r = 0usize;
     while r < rows {
@@ -195,10 +218,76 @@ fn block_into(
     tiles
 }
 
-/// Blocked `A * B^T` against a pre-packed right operand. The output chunk
-/// rows are parallelized; within each worker the packed panels loop
-/// outermost so each panel is read from L2, not memory.
+/// The vector tile loop: [`crate::simd::MR_SIMD`]-row register blocks
+/// against packed strips. Remainder row groups (`mr < MR_SIMD`) clamp the
+/// trailing row pointers to the last valid row — the kernel computes a few
+/// duplicate rows whose results are simply not stored, which keeps the
+/// micro-kernel a single fixed-arity hot loop.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn block_into_simd(
+    a: &Matrix,
+    row0: usize,
+    rows: usize,
+    packed: &PackedB,
+    s0: usize,
+    s1: usize,
+    out: &mut [f32],
+    out_stride: usize,
+    col_base: usize,
+    fma: bool,
+) -> u64 {
+    use crate::simd::MR_SIMD;
+    let mut tiles = 0u64;
+    let mut r = 0usize;
+    while r < rows {
+        let mr = MR_SIMD.min(rows - r);
+        let a_rows: [&[f32]; MR_SIMD] =
+            std::array::from_fn(|i| a.row(row0 + r + i.min(mr - 1)));
+        for s in s0..s1 {
+            let strip = packed.strip(s);
+            let col = s * NR;
+            let valid = NR.min(packed.n() - col);
+            let mut acc = [[0.0f32; NR]; MR_SIMD];
+            // Safety: dispatch guarantees the required CPU features
+            // (`block_into` only routes here for Avx2/Fma levels), and
+            // every `a_rows[i]` has exactly `d = strip.len() / NR`
+            // elements.
+            unsafe {
+                if fma {
+                    crate::simd::micro_fma(&a_rows, strip, &mut acc);
+                } else {
+                    crate::simd::micro_avx2(&a_rows, strip, &mut acc);
+                }
+            }
+            for i in 0..mr {
+                let dst_start = (r + i) * out_stride + (col - col_base);
+                out[dst_start..dst_start + valid].copy_from_slice(&acc[i][..valid]);
+            }
+            tiles += 1;
+        }
+        r += mr;
+    }
+    tiles
+}
+
+/// Blocked `A * B^T` against a pre-packed right operand, using the
+/// process-wide SIMD dispatch decision ([`crate::simd::active`]).
 pub fn matmul_blocked_packed(a: &Matrix, packed: &PackedB) -> Result<Matrix> {
+    matmul_blocked_packed_with(a, packed, crate::simd::active())
+}
+
+/// Blocked `A * B^T` against a pre-packed right operand with an explicit
+/// micro-kernel level — the entry point for scalar-vs-SIMD equivalence
+/// tests and benchmarks. The output chunk rows are parallelized on the
+/// persistent pool; within each task the packed panels loop outermost so
+/// each panel is read from L2, not memory.
+pub fn matmul_blocked_packed_with(
+    a: &Matrix,
+    packed: &PackedB,
+    level: SimdLevel,
+) -> Result<Matrix> {
+    let level = crate::simd::clamp_supported(level);
     if a.cols() != packed.d() {
         return Err(LinalgError::DimMismatch {
             op: "matmul_blocked",
@@ -215,14 +304,18 @@ pub fn matmul_blocked_packed(a: &Matrix, packed: &PackedB) -> Result<Matrix> {
     let strips = packed.strips();
     let tiles = std::sync::atomic::AtomicU64::new(0);
     let panels = std::sync::atomic::AtomicU64::new(0);
-    par_row_chunks_mut(out.as_mut_slice(), n, |start_row, chunk| {
+    // One output row costs n * d flops; never split tasks below the
+    // register-block height so every task runs full-width tiles.
+    let grain = Grain::for_item_cost(n.saturating_mul(packed.d().max(1)))
+        .at_least(crate::simd::MR_SIMD);
+    par_row_chunks_mut_grained(out.as_mut_slice(), n, grain, |start_row, chunk| {
         let rows = chunk.len() / n;
         let mut local_tiles = 0u64;
         let mut local_panels = 0u64;
         let mut s0 = 0usize;
         while s0 < strips {
             let s1 = (s0 + panel).min(strips);
-            local_tiles += block_into(a, start_row, rows, packed, s0, s1, chunk, n, 0);
+            local_tiles += block_into(a, start_row, rows, packed, s0, s1, chunk, n, 0, level);
             local_panels += 1;
             s0 = s1;
         }
@@ -237,6 +330,12 @@ pub fn matmul_blocked_packed(a: &Matrix, packed: &PackedB) -> Result<Matrix> {
 /// Blocked `A * B^T`: packs `B` and multiplies. Drop-in replacement for the
 /// naive kernel — see the module docs for why results are bit-identical.
 pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    matmul_blocked_with(a, b, crate::simd::active())
+}
+
+/// [`matmul_blocked`] with an explicit micro-kernel level (see
+/// [`matmul_blocked_packed_with`]).
+pub fn matmul_blocked_with(a: &Matrix, b: &Matrix, level: SimdLevel) -> Result<Matrix> {
     if a.cols() != b.cols() {
         return Err(LinalgError::DimMismatch {
             op: "matmul_blocked",
@@ -245,7 +344,7 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> Result<Matrix> {
         });
     }
     let packed = PackedB::pack(b);
-    matmul_blocked_packed(a, &packed)
+    matmul_blocked_packed_with(a, &packed, level)
 }
 
 /// Computes the scores tile `A[row0..row0+rows] x strips[s0..s1]` into the
@@ -266,7 +365,18 @@ pub(crate) fn tile_into(
     let width = (packed.n().min(s1 * NR)) - col_base;
     let stride = (s1 - s0) * NR;
     debug_assert!(scratch.len() >= rows * stride);
-    let tiles = block_into(a, row0, rows, packed, s0, s1, scratch, stride, col_base);
+    let tiles = block_into(
+        a,
+        row0,
+        rows,
+        packed,
+        s0,
+        s1,
+        scratch,
+        stride,
+        col_base,
+        crate::simd::active(),
+    );
     (width, tiles)
 }
 

@@ -15,11 +15,17 @@
 //! register tiling, L2 cache blocking) plus fused streaming
 //! similarity -> top-k kernels ([`fused`]) that never materialize the
 //! dense score matrix; both produce bit-identical scores to the naive
-//! reference kernel.
+//! reference kernel. The micro-kernel is runtime-dispatched ([`simd`]):
+//! an AVX2 path that vectorizes across the packed output columns while
+//! keeping the depth reduction sequential — still bit-identical to the
+//! scalar reference — with an opt-in FMA variant behind
+//! `ENTMATCHER_SIMD=fma`.
 //!
-//! Parallelism uses `std::thread::scope` over contiguous row chunks (see
-//! [`parallel`]); no work-stealing runtime is required for the regular,
-//! embarrassingly parallel loops in this workload.
+//! Parallelism runs on the process-wide persistent work-stealing pool
+//! (`entmatcher_support::pool`) via the row-parallel helpers in
+//! [`parallel`]; call sites state per-item cost hints ([`parallel::Grain`])
+//! so both many-cheap-row loops and few-heavy-row reductions split well,
+//! and uneven rows (Sinkhorn tails, ranking passes) balance by stealing.
 
 pub mod error;
 pub mod fused;
@@ -28,12 +34,14 @@ pub mod matrix;
 pub mod ops;
 pub mod parallel;
 pub mod rank;
+pub mod simd;
 pub mod snapshot;
 pub mod stats;
 
 pub use error::LinalgError;
 pub use fused::{fused_argmax_affine, fused_topk, fused_topk_means, TopKAccumulator};
-pub use gemm::{matmul_blocked, PackedB};
+pub use gemm::{matmul_blocked, matmul_blocked_with, PackedB};
+pub use simd::SimdLevel;
 pub use matrix::Matrix;
 pub use ops::{dot, l2_norm, matmul_naive, matmul_transposed, normalize_rows_l2};
 pub use rank::{argmax, argsort_desc, col_maxes, col_top_k_means, rank_desc, top_k_desc};

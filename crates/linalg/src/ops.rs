@@ -2,7 +2,7 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
-use crate::parallel::par_row_chunks_mut;
+use crate::parallel::{par_row_chunks_mut, par_row_chunks_mut_grained, Grain};
 use crate::Result;
 use entmatcher_support::telemetry;
 
@@ -85,7 +85,10 @@ pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     }
     let a_ref = &a;
     let b_ref = &b;
-    par_row_chunks_mut(out.as_mut_slice(), n, |start_row, chunk| {
+    // One output row costs n * d multiply-adds, not n — hint the true cost
+    // so small-m, large-n products still split across workers.
+    let grain = Grain::for_item_cost(n.saturating_mul(a.cols().max(1)));
+    par_row_chunks_mut_grained(out.as_mut_slice(), n, grain, |start_row, chunk| {
         for (local, out_row) in chunk.chunks_exact_mut(n).enumerate() {
             let ar = a_ref.row(start_row + local);
             for (j, slot) in out_row.iter_mut().enumerate() {

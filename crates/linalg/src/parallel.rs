@@ -1,31 +1,114 @@
-//! Scoped-thread helpers for row-parallel kernels.
+//! Row-parallel kernel helpers on the persistent work-stealing pool.
 //!
 //! All heavy loops in the matching pipeline are over independent rows of a
-//! score matrix. `std::thread::scope` lets us split the row range across a
-//! small fixed pool without any runtime dependency; chunks are contiguous so
-//! each worker streams through cache-friendly memory.
+//! score matrix. These helpers split the row range into fine-grained
+//! contiguous tasks and execute them on [`entmatcher_support::pool`] — the
+//! process-wide persistent pool — so per-call thread-spawn overhead is
+//! gone and uneven rows (Sinkhorn tails, Hungarian augmenting paths,
+//! ranking rows) are balanced by stealing instead of stranding workers
+//! behind the slowest static chunk.
+//!
+//! # Granularity
+//!
+//! Task size is controlled by a [`Grain`]: roughly, one task should carry
+//! at least [`Grain::TASK_ELEMS`] elements worth of work so that task
+//! claiming (one atomic `fetch_add`) stays negligible. The old
+//! implementation hardcoded a 256-items-per-worker floor, which assumed
+//! every item is one cheap row — a `par_map_rows` over few items that each
+//! reduce a huge row (e.g. column passes with a handful of targets) ran
+//! serial even though each item was O(n) work. Call sites now state their
+//! per-item cost ([`Grain::for_item_cost`]) or an explicit task size
+//! ([`Grain::rows`]); the unhinted defaults reproduce the old conservative
+//! behaviour.
+//!
+//! # Panics
+//!
+//! A panic inside `f` on any worker is caught by the pool and re-raised in
+//! the calling thread with the original payload, so `should_panic` tests
+//! and error reporting see the real message.
 
-use std::num::NonZeroUsize;
+use entmatcher_support::pool;
 
-/// Returns the worker count used by the parallel kernels: the machine's
-/// available parallelism, capped so tiny inputs do not pay spawn overhead.
-pub fn worker_count(items: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    // Each worker should own at least ~256 rows; below that threads cost
-    // more than they save on these memory-bound loops.
-    hw.min(items / 256 + 1).max(1)
+/// Task-granularity hint for the parallel helpers: how many items (rows)
+/// one pool task should process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grain {
+    /// Items processed per claimed task.
+    pub items_per_task: usize,
+}
+
+impl Grain {
+    /// Target elements of work per task: small enough to give the
+    /// stealing scheduler room to balance, large enough (tens of
+    /// microseconds) that the per-task atomic claim is noise.
+    pub const TASK_ELEMS: usize = 32 * 1024;
+
+    /// Conservative default for loops with unknown per-item cost:
+    /// mirrors the retired 256-rows-per-worker floor.
+    pub const DEFAULT_ITEMS: usize = 256;
+
+    /// Exactly `items_per_task` items per task (clamped to >= 1).
+    pub fn rows(items_per_task: usize) -> Grain {
+        Grain {
+            items_per_task: items_per_task.max(1),
+        }
+    }
+
+    /// Sizes tasks from a cost hint: `elems_per_item` is the approximate
+    /// number of elements one item touches (a row reduction over `n`
+    /// columns costs `n`; a GEMM output row costs `n * d`). Expensive
+    /// items yield one-item tasks; cheap items are batched so a task
+    /// still carries [`Self::TASK_ELEMS`] of work.
+    pub fn for_item_cost(elems_per_item: usize) -> Grain {
+        Grain {
+            items_per_task: (Self::TASK_ELEMS / elems_per_item.max(1)).max(1),
+        }
+    }
+
+    /// Raises the task size to at least `items` — used when the kernel
+    /// blocks internally (e.g. register tiles of 8 rows) and tasks should
+    /// not split below the blocking factor.
+    pub fn at_least(self, items: usize) -> Grain {
+        Grain {
+            items_per_task: self.items_per_task.max(items.max(1)),
+        }
+    }
+}
+
+impl Default for Grain {
+    fn default() -> Self {
+        Grain::rows(Self::DEFAULT_ITEMS)
+    }
+}
+
+/// Number of pool participants row-parallel kernels can use.
+pub fn workers() -> usize {
+    pool::global().width()
 }
 
 /// Runs `f(start_row, chunk)` over contiguous chunks of `data` (interpreted
-/// as rows of width `row_width`), in parallel.
+/// as rows of width `row_width`), in parallel on the persistent pool.
+///
+/// The granularity hint defaults to the row width (each item is assumed to
+/// cost about one pass over its own row); call
+/// [`par_row_chunks_mut_grained`] when the per-row cost differs.
 ///
 /// `f` must be `Sync` because it is shared across workers; per-chunk state
 /// should live inside the closure body.
 pub fn par_row_chunks_mut<T: Send>(
     data: &mut [T],
     row_width: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let grain = Grain::for_item_cost(row_width);
+    par_row_chunks_mut_grained(data, row_width, grain, f);
+}
+
+/// [`par_row_chunks_mut`] with an explicit granularity hint.
+pub fn par_row_chunks_mut_grained<T: Send>(
+    data: &mut [T],
+    row_width: usize,
+    grain: Grain,
     f: impl Fn(usize, &mut [T]) + Sync,
 ) {
     assert!(row_width > 0, "row width must be positive");
@@ -35,54 +118,48 @@ pub fn par_row_chunks_mut<T: Send>(
         "buffer is not a whole number of rows"
     );
     let rows = data.len() / row_width;
-    let workers = worker_count(rows);
-    if workers <= 1 || rows <= 1 {
-        f(0, data);
+    if rows == 0 {
         return;
     }
-    let rows_per = rows.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        let mut start_row = 0usize;
-        let f = &f;
-        while !rest.is_empty() {
-            let take = (rows_per * row_width).min(rest.len());
-            let (chunk, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let row = start_row;
-            scope.spawn(move || f(row, chunk));
-            start_row += take / row_width;
-        }
+    let per = grain.items_per_task.max(1);
+    let tasks = rows.div_ceil(per);
+    // Tasks map to disjoint row ranges of one buffer; each claimed task
+    // reconstitutes its own `&mut [T]` from the base pointer. Sound
+    // because ranges never overlap and the pool joins every task before
+    // `run` returns.
+    let base = data.as_mut_ptr() as usize;
+    let f = &f;
+    pool::global().run(tasks, &move |t: usize| {
+        let r0 = t * per;
+        let r1 = rows.min(r0 + per);
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut((base as *mut T).add(r0 * row_width), (r1 - r0) * row_width)
+        };
+        f(r0, chunk);
     });
 }
 
 /// Maps `f` over the index range `0..n` in parallel and collects results in
 /// order. Used for per-row reductions (e.g. row-max vectors).
+///
+/// The default grain batches [`Grain::DEFAULT_ITEMS`] items per task (the
+/// safe assumption for cheap items); reductions whose items each scan a
+/// long row should use [`par_map_rows_grained`] with
+/// [`Grain::for_item_cost`] so that few-but-heavy items still parallelize.
 pub fn par_map_rows<R: Send + Default + Clone>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    let workers = worker_count(n);
+    par_map_rows_grained(n, Grain::default(), f)
+}
+
+/// [`par_map_rows`] with an explicit granularity hint.
+pub fn par_map_rows_grained<R: Send + Default + Clone>(
+    n: usize,
+    grain: Grain,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
     let mut out = vec![R::default(); n];
-    if workers <= 1 || n <= 1 {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = f(i);
-        }
-        return out;
-    }
-    let per = n.div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut rest = out.as_mut_slice();
-        let mut start = 0usize;
-        let f = &f;
-        while !rest.is_empty() {
-            let take = per.min(rest.len());
-            let (chunk, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let base = start;
-            scope.spawn(move || {
-                for (offset, slot) in chunk.iter_mut().enumerate() {
-                    *slot = f(base + offset);
-                }
-            });
-            start += take;
+    par_row_chunks_mut_grained(&mut out, 1, grain, |base, chunk| {
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(base + offset);
         }
     });
     out
@@ -93,9 +170,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn worker_count_is_at_least_one() {
-        assert!(worker_count(0) >= 1);
-        assert!(worker_count(1_000_000) >= 1);
+    fn grain_hints() {
+        // Cheap items batch up to the task-elems target.
+        assert_eq!(Grain::for_item_cost(1).items_per_task, Grain::TASK_ELEMS);
+        // Heavy items go one per task.
+        assert_eq!(Grain::for_item_cost(usize::MAX / 2).items_per_task, 1);
+        assert_eq!(Grain::for_item_cost(0).items_per_task, Grain::TASK_ELEMS);
+        // at_least only raises.
+        assert_eq!(Grain::for_item_cost(1 << 30).at_least(16).items_per_task, 16);
+        assert_eq!(Grain::rows(64).at_least(16).items_per_task, 64);
+        assert_eq!(Grain::rows(0).items_per_task, 1);
     }
 
     #[test]
@@ -119,6 +203,32 @@ mod tests {
     }
 
     #[test]
+    fn fine_grain_still_covers_every_row_once() {
+        // One row per task: maximum stealing pressure.
+        let rows = 257;
+        let mut data = vec![0u8; rows * 3];
+        par_row_chunks_mut_grained(&mut data, 3, Grain::rows(1), |start, chunk| {
+            assert_eq!(chunk.len(), 3, "start {start}");
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn single_row_input_works() {
+        let mut data = vec![1.0f32; 5];
+        par_row_chunks_mut(&mut data, 5, |start, chunk| {
+            assert_eq!(start, 0);
+            for v in chunk.iter_mut() {
+                *v *= 2.0;
+            }
+        });
+        assert_eq!(data, vec![2.0; 5]);
+    }
+
+    #[test]
     fn par_row_chunks_handles_empty() {
         let mut data: Vec<f32> = vec![];
         par_row_chunks_mut(&mut data, 3, |_, _| {});
@@ -139,8 +249,75 @@ mod tests {
     }
 
     #[test]
+    fn par_map_rows_heavy_grain_matches_serial() {
+        let got = par_map_rows_grained(41, Grain::for_item_cost(1 << 20), |i| i + 1);
+        let want: Vec<usize> = (1..=41).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn par_map_rows_empty() {
         let got: Vec<usize> = par_map_rows(0, |i| i);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_with_original_message() {
+        // Force many tasks so the panic happens inside pool execution,
+        // then check the original message crosses the pool boundary.
+        let result = std::panic::catch_unwind(|| {
+            let mut data = vec![0u32; 4096];
+            par_row_chunks_mut_grained(&mut data, 1, Grain::rows(64), |start, _| {
+                if start >= 1024 {
+                    panic!("row chunk {start} failed to converge");
+                }
+            });
+        });
+        let payload = result.expect_err("panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string payload");
+        assert!(
+            msg.contains("failed to converge"),
+            "original message lost: {msg}"
+        );
+    }
+
+    #[test]
+    fn map_rows_panic_surfaces_too() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_rows_grained(512, Grain::rows(8), |i| {
+                if i == 300 {
+                    panic!("bad row {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted string payload");
+        assert!(msg.contains("bad row 300"), "got: {msg}");
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // par inside par: the pool must not deadlock and every inner
+        // element must be written exactly once.
+        let mut outer = vec![0u32; 64];
+        par_row_chunks_mut_grained(&mut outer, 1, Grain::rows(4), |start, chunk| {
+            let inner = par_map_rows_grained(32, Grain::rows(4), |i| i as u32);
+            let sum: u32 = inner.iter().sum();
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = sum + (start + off) as u32;
+            }
+        });
+        let want_sum: u32 = (0..32).sum();
+        for (i, &v) in outer.iter().enumerate() {
+            assert_eq!(v, want_sum + i as u32);
+        }
     }
 }

@@ -76,7 +76,11 @@ pub fn col_top_k_means(m: &crate::matrix::Matrix, k: usize) -> Vec<f32> {
     if cols == 0 {
         return out;
     }
-    crate::parallel::par_row_chunks_mut(&mut out, 1, |col0, chunk| {
+    // Each output column is a reduction over all `rows` values, so the
+    // per-item cost is `rows`, not 1 — few columns over many rows must
+    // still fan out.
+    let grain = crate::parallel::Grain::for_item_cost(rows);
+    crate::parallel::par_row_chunks_mut_grained(&mut out, 1, grain, |col0, chunk| {
         let width = chunk.len();
         let mut heaps: Vec<TopKAccumulator> =
             (0..width).map(|_| TopKAccumulator::new(k)).collect();
@@ -102,7 +106,8 @@ pub fn col_maxes(m: &crate::matrix::Matrix) -> Vec<f32> {
     if cols == 0 {
         return out;
     }
-    crate::parallel::par_row_chunks_mut(&mut out, 1, |col0, chunk| {
+    let grain = crate::parallel::Grain::for_item_cost(rows);
+    crate::parallel::par_row_chunks_mut_grained(&mut out, 1, grain, |col0, chunk| {
         for r in 0..rows {
             let seg = &m.row(r)[col0..col0 + chunk.len()];
             for (slot, &v) in chunk.iter_mut().zip(seg.iter()) {

@@ -1,0 +1,102 @@
+//! SIMD-vs-scalar equivalence over a shape grid.
+//!
+//! The contract under test: the AVX2 micro-kernel is **bitwise identical**
+//! to the scalar reference on every shape — including remainder rows
+//! (m not a multiple of the 4- or 8-row register blocks), remainder
+//! columns (n not a multiple of NR=8), and degenerate depths — because it
+//! vectorizes across output columns and keeps the depth reduction in
+//! scalar order. The FMA variant is only required to agree to a relative
+//! tolerance (it rounds once per multiply-add).
+//!
+//! On machines without AVX2 (or non-x86_64 targets) every level resolves
+//! to the scalar kernel and the equality assertions hold trivially.
+
+use entmatcher_linalg::gemm::matmul_blocked_with;
+use entmatcher_linalg::ops::matmul_naive;
+use entmatcher_linalg::{Matrix, SimdLevel};
+
+/// Deterministic awkward values: mixed signs and magnitudes so that
+/// accumulation-order changes would actually move the result bits.
+fn lumpy_matrix(rows: usize, cols: usize, salt: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = r
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(c.wrapping_mul(0x85eb_ca6b))
+            .wrapping_add(salt.wrapping_mul(0xc2b2_ae35));
+        let v = ((h >> 7) % 2003) as f32 / 211.0 - 4.5;
+        // Sprinkle magnitude spread to stress rounding.
+        if h % 5 == 0 {
+            v * 1024.0
+        } else if h % 7 == 0 {
+            v / 4096.0
+        } else {
+            v
+        }
+    })
+}
+
+/// The shape grid from the issue: m and n straddle the 4-row scalar block,
+/// the 8-row SIMD block, and the NR=8 strip width (with remainders), and
+/// d covers the degenerate, sub-vector, and realistic embedding sizes.
+const MS: [usize; 7] = [1, 3, 4, 5, 8, 13, 33];
+const NS: [usize; 7] = [1, 2, 7, 8, 9, 21, 40];
+const DS: [usize; 3] = [1, 7, 128];
+
+#[test]
+fn avx2_is_bitwise_equal_to_scalar_and_naive_on_shape_grid() {
+    for (shape_salt, &m) in MS.iter().enumerate() {
+        for &n in &NS {
+            for &d in &DS {
+                let a = lumpy_matrix(m, d, shape_salt);
+                let b = lumpy_matrix(n, d, shape_salt + 101);
+                let naive = matmul_naive(&a, &b).unwrap();
+                let scalar = matmul_blocked_with(&a, &b, SimdLevel::Scalar).unwrap();
+                assert_eq!(
+                    scalar, naive,
+                    "scalar blocked != naive at m={m} n={n} d={d}"
+                );
+                let vector = matmul_blocked_with(&a, &b, SimdLevel::Avx2).unwrap();
+                assert_eq!(
+                    vector, scalar,
+                    "simd blocked != scalar blocked at m={m} n={n} d={d}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn fma_matches_scalar_within_tolerance() {
+    if !std::arch::is_x86_feature_detected!("fma") {
+        eprintln!("skipping: host has no FMA");
+        return;
+    }
+    for &(m, n, d) in &[(5usize, 9usize, 128usize), (13, 21, 7), (33, 40, 128)] {
+        let a = lumpy_matrix(m, d, 7);
+        let b = lumpy_matrix(n, d, 13);
+        let scalar = matmul_blocked_with(&a, &b, SimdLevel::Scalar).unwrap();
+        let fma = matmul_blocked_with(&a, &b, SimdLevel::Fma).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let s = scalar.get(i, j);
+                let f = fma.get(i, j);
+                // Anchor the tolerance to the accumulated term magnitude,
+                // not the (possibly cancelled) result: the rounding gap
+                // between fused and unfused multiply-add is bounded by a
+                // few ulps of sum |a_d * b_d|.
+                let mag: f32 = a
+                    .row(i)
+                    .iter()
+                    .zip(b.row(j).iter())
+                    .map(|(x, y)| (x * y).abs())
+                    .sum();
+                let tol = 1e-4_f32.max(mag * 1e-6);
+                assert!(
+                    (s - f).abs() <= tol,
+                    "fma too far from scalar at ({i},{j}) m={m} n={n} d={d}: {s} vs {f}"
+                );
+            }
+        }
+    }
+}

@@ -14,6 +14,10 @@
 //!   input shrinking.
 //! - [`bench`] — a tiny wall-clock benchmark harness for `harness = false`
 //!   bench targets.
+//! - [`pool`] — a persistent, process-wide work-stealing worker pool
+//!   (sized by `ENTMATCHER_THREADS` / available parallelism) that the
+//!   row-parallel kernels run on, with panic propagation and telemetry
+//!   integration.
 //! - [`telemetry`] — structured spans, counters, and log-scale histograms
 //!   with JSON trace export (the `ENTMATCHER_TRACE` / `--trace`
 //!   observability layer every crate reports into), plus the
@@ -27,6 +31,7 @@
 
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 pub mod telemetry;

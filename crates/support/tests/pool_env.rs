@@ -1,0 +1,36 @@
+//! Global-pool sizing via `ENTMATCHER_THREADS`.
+//!
+//! This lives in its own integration-test binary on purpose: the global
+//! pool is created lazily at first use and its width is read from the
+//! environment exactly once, so the variable must be set before anything
+//! in the process touches the pool. Keep this file to a single test.
+
+use entmatcher_support::pool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn entmatcher_threads_sizes_the_global_pool() {
+    // Safe here: no other thread exists yet in this test binary, and the
+    // global pool has not been initialized.
+    std::env::set_var("ENTMATCHER_THREADS", "3");
+    assert_eq!(pool::configured_width(), 3);
+    let pool = pool::global();
+    assert_eq!(pool.width(), 3);
+
+    // The env-sized pool actually executes work (including nested jobs).
+    let total = AtomicUsize::new(0);
+    pool.run(7, &|_| {
+        pool.run(5, &|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 35);
+    assert!(pool.stats().tasks >= 35);
+
+    // Garbage values fall back to available parallelism (>= 1).
+    std::env::set_var("ENTMATCHER_THREADS", "zero");
+    assert!(pool::configured_width() >= 1);
+    std::env::set_var("ENTMATCHER_THREADS", "0");
+    assert!(pool::configured_width() >= 1);
+    std::env::remove_var("ENTMATCHER_THREADS");
+}

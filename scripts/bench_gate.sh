@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
 # Performance gate for the similarity kernels: re-runs the kernels
-# benchmark at full size and fails when the best blocked-GEMM throughput
-# regresses more than ENTMATCHER_BENCH_TOLERANCE_PCT (default 20) percent
-# below the committed baseline artifact `BENCH_kernels.json`.
+# benchmark at full size and fails when the best throughput of a gated
+# kernel regresses more than ENTMATCHER_BENCH_TOLERANCE_PCT (default 20)
+# percent below the committed baseline artifact `BENCH_kernels.json`.
+# Gated kernels: `blocked` (the runtime-dispatched SIMD micro-kernel —
+# the production hot path) and `blocked_scalar` (the scalar reference, so
+# a regression hiding under SIMD gains is still caught).
 #
 # This is deliberately a separate script from verify.sh: the full bench
 # takes minutes and wall-clock throughput is only meaningful on a quiet
@@ -23,13 +26,14 @@ TOLERANCE="${ENTMATCHER_BENCH_TOLERANCE_PCT:-20}"
     exit 1
 }
 
-# Best blocked-kernel GFLOP/s in a kernel-bench JSON artifact. The format
-# is the in-tree writer's pretty-printed output: one `"key": value` pair
-# per line, with each entry's "kernel" line preceding its "gflops" line.
-max_blocked_gflops() {
-    awk '
+# Best GFLOP/s for one kernel name in a kernel-bench JSON artifact. The
+# format is the in-tree writer's pretty-printed output: one `"key": value`
+# pair per line, with each entry's "kernel" line preceding its "gflops"
+# line.
+max_kernel_gflops() {
+    awk -v want="$2" '
         /"kernel":/ { kernel = $2; gsub(/[",]/, "", kernel) }
-        /"gflops":/ && kernel == "blocked" {
+        /"gflops":/ && kernel == want {
             v = $2 + 0
             if (v > max) max = v
         }
@@ -38,11 +42,6 @@ max_blocked_gflops() {
             print max
         }
     ' "$1"
-}
-
-BASE=$(max_blocked_gflops "$BASELINE") || {
-    echo "bench_gate: no blocked-kernel entry in $BASELINE" >&2
-    exit 1
 }
 
 FRESH_OUT=$(mktemp)
@@ -54,16 +53,29 @@ unset ENTMATCHER_BENCH_QUICK || true
 ENTMATCHER_KERNEL_BENCH_OUT="$FRESH_OUT" \
     cargo bench --offline -p entmatcher-bench --bench kernels >/dev/null
 
-FRESH=$(max_blocked_gflops "$FRESH_OUT") || {
-    echo "bench_gate: no blocked-kernel entry in fresh bench output" >&2
-    exit 1
-}
-
-awk -v fresh="$FRESH" -v base="$BASE" -v tol="$TOLERANCE" 'BEGIN {
-    floor = base * (1 - tol / 100)
-    if (fresh < floor) {
-        printf "bench_gate: FAIL: blocked GEMM %.2f GFLOP/s is below the %.2f floor (baseline %.2f, tolerance %s%%)\n", fresh, floor, base, tol
+STATUS=0
+for KERNEL in blocked blocked_scalar; do
+    BASE=$(max_kernel_gflops "$BASELINE" "$KERNEL") || {
+        # Older baselines predate blocked_scalar; only the production
+        # kernel is mandatory in the baseline.
+        if [ "$KERNEL" = "blocked" ]; then
+            echo "bench_gate: no blocked-kernel entry in $BASELINE" >&2
+            exit 1
+        fi
+        echo "bench_gate: skip $KERNEL (no entry in baseline $BASELINE)"
+        continue
+    }
+    FRESH=$(max_kernel_gflops "$FRESH_OUT" "$KERNEL") || {
+        echo "bench_gate: no $KERNEL entry in fresh bench output" >&2
         exit 1
     }
-    printf "bench_gate: ok: blocked GEMM %.2f GFLOP/s vs baseline %.2f (floor %.2f, tolerance %s%%)\n", fresh, base, floor, tol
-}'
+    awk -v k="$KERNEL" -v fresh="$FRESH" -v base="$BASE" -v tol="$TOLERANCE" 'BEGIN {
+        floor = base * (1 - tol / 100)
+        if (fresh < floor) {
+            printf "bench_gate: FAIL: %s %.2f GFLOP/s is below the %.2f floor (baseline %.2f, tolerance %s%%)\n", k, fresh, floor, base, tol
+            exit 1
+        }
+        printf "bench_gate: ok: %s %.2f GFLOP/s vs baseline %.2f (floor %.2f, tolerance %s%%)\n", k, fresh, base, floor, tol
+    }' || STATUS=1
+done
+exit "$STATUS"

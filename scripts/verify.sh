@@ -22,6 +22,13 @@ export ENTMATCHER_BENCH_QUICK=1
 cargo build --release --offline --workspace --bins --benches
 cargo test -q --offline --workspace
 
+# Second pass with the execution engine pinned to its degenerate
+# configuration: one pool worker (serial fast path) and the scalar
+# micro-kernel. Every test must pass identically — the pool/SIMD layers
+# are pure performance, never semantics.
+echo "verify: re-running tests with ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off"
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off cargo test -q --offline --workspace
+
 # Telemetry smoke test: run a small end-to-end match with --trace and
 # check the exported JSON parses and contains the pipeline stage spans.
 SMOKE=$(mktemp -d)
@@ -88,6 +95,13 @@ echo "$SCRAPE" | grep -q "entmatcher_up 1" || {
 }
 echo "$SCRAPE" | grep -q "entmatcher_csls_neighborhoods_total" || {
     echo "verify: /metrics missing csls counter" >&2
+    kill "$METRICS_PID" 2>/dev/null || true
+    exit 1
+}
+# The persistent pool must report its scheduling counters through the
+# same exposition (pool.tasks -> entmatcher_pool_tasks_total).
+echo "$SCRAPE" | grep -q "entmatcher_pool_tasks_total" || {
+    echo "verify: /metrics missing pool.tasks counter" >&2
     kill "$METRICS_PID" 2>/dev/null || true
     exit 1
 }
