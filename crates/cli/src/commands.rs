@@ -4,7 +4,7 @@
 
 use crate::args::ParsedArgs;
 use crate::USAGE;
-use entmatcher_core::{AlgorithmPreset, MatchContext};
+use entmatcher_core::{AlgorithmPreset, CandidateStrategy, IvfParams, LshBlocker, MatchContext};
 use entmatcher_data::benchmarks;
 use entmatcher_embed::{fuse, Encoder, UnifiedEmbeddings};
 use entmatcher_eval::{evaluate_links, MatchTask};
@@ -318,6 +318,23 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
     let emb_dir = Path::new(args.require("embeddings")?);
     let algorithm = algorithm_preset(args.require("algorithm")?)?;
     let out = Path::new(args.require("out")?);
+    // Validate the candidate strategy before any I/O: a typo'd flag should
+    // be a usage error, not a mid-run failure after loading the dataset.
+    let shortlist_k = args.get_u64("shortlist", 32)?.max(1) as usize;
+    let strategy = match args.get("candidates").unwrap_or("exact") {
+        "exact" => None,
+        "lsh" => Some(CandidateStrategy::Lsh(LshBlocker::default())),
+        "ivf" => Some(CandidateStrategy::Ivf(IvfParams {
+            nlist: args.get_u64("nlist", 0)? as usize,
+            nprobe: args.get_u64("nprobe", 0)? as usize,
+            ..IvfParams::default()
+        })),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown candidate strategy {other:?}: expected exact, lsh or ivf"
+            )))
+        }
+    };
     let pair = load_data(dir)?;
     let emb = load_embeddings(emb_dir)?;
     if emb.source.rows() != pair.source.num_entities() {
@@ -333,6 +350,9 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
     let mut pipeline = algorithm.build();
     if args.has_flag("dummies") {
         pipeline = pipeline.with_dummies(0.9);
+    }
+    if let Some(strategy) = strategy {
+        pipeline = pipeline.with_candidates(strategy, shortlist_k);
     }
     let report = pipeline.execute(&src, &tgt, &ctx);
     let links = task.matching_to_links(&report.matching);
@@ -577,6 +597,137 @@ mod tests {
         let rendered = run(&["trace", "--file", trace_file.to_str().unwrap()]).unwrap();
         assert!(rendered.contains("pipeline"), "render: {rendered}");
         assert!(rendered.contains("similarity"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn ivf_candidates_match_quality_and_trace_probe_spans() {
+        let root = temp_dir("ivf");
+        let data = root.join("data");
+        let emb = root.join("emb");
+        run(&[
+            "generate",
+            "--preset",
+            "S-W",
+            "--scale",
+            "0.02",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&[
+            "encode",
+            "--data",
+            data.to_str().unwrap(),
+            "--encoder",
+            "name",
+            "--out",
+            emb.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let eval_f1 = |pairs: &std::path::Path| -> f64 {
+            let out = run(&[
+                "eval",
+                "--data",
+                data.to_str().unwrap(),
+                "--pairs",
+                pairs.to_str().unwrap(),
+            ])
+            .unwrap();
+            out.lines()
+                .find(|l| l.starts_with("F1"))
+                .and_then(|l| l.split('=').nth(1))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+
+        // Exact baseline.
+        let exact_pairs = root.join("exact.tsv");
+        run(&[
+            "match",
+            "--data",
+            data.to_str().unwrap(),
+            "--embeddings",
+            emb.to_str().unwrap(),
+            "--algorithm",
+            "csls",
+            "--out",
+            exact_pairs.to_str().unwrap(),
+        ])
+        .unwrap();
+        let exact_f1 = eval_f1(&exact_pairs);
+
+        // Same match through the IVF candidate path, traced.
+        let ivf_pairs = root.join("ivf.tsv");
+        let trace_file = root.join("ivf-trace.json");
+        run(&[
+            "match",
+            "--data",
+            data.to_str().unwrap(),
+            "--embeddings",
+            emb.to_str().unwrap(),
+            "--algorithm",
+            "csls",
+            "--candidates",
+            "ivf",
+            "--nprobe",
+            "8",
+            "--trace",
+            trace_file.to_str().unwrap(),
+            "--out",
+            ivf_pairs.to_str().unwrap(),
+        ])
+        .unwrap();
+        let ivf_f1 = eval_f1(&ivf_pairs);
+        assert!(
+            (exact_f1 - ivf_f1).abs() <= 0.05,
+            "ivf F1 {ivf_f1:.4} drifted more than 0.05 from exact {exact_f1:.4}"
+        );
+
+        // The trace must carry the ANN spans and candidate counters under
+        // the similarity stage.
+        let text = std::fs::read_to_string(&trace_file).unwrap();
+        let trace: telemetry::Trace = entmatcher_support::json::from_str(&text).unwrap();
+        let sim = trace.span("similarity").expect("similarity span");
+        let kids = trace.children(sim.id);
+        assert!(
+            kids.iter().any(|s| s.name == "ann.train"),
+            "ann.train span missing under similarity"
+        );
+        assert!(
+            kids.iter().any(|s| s.name == "ann.probe"),
+            "ann.probe span missing under similarity"
+        );
+        assert!(trace.counter("ann.probed_lists").unwrap_or(0) > 0);
+        assert!(trace.counter("ann.candidates").unwrap_or(0) > 0);
+        assert!(trace.counter("pipeline.shortlist.candidates").unwrap_or(0) > 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn unknown_candidate_strategy_is_a_usage_error() {
+        let root = temp_dir("badcand");
+        let err = run(&[
+            "match",
+            "--data",
+            root.to_str().unwrap(),
+            "--embeddings",
+            root.to_str().unwrap(),
+            "--algorithm",
+            "csls",
+            "--candidates",
+            "faiss",
+            "--out",
+            root.join("x.tsv").to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(
+            format!("{err}").contains("candidate strategy"),
+            "unexpected error: {err}"
+        );
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -49,8 +49,13 @@ commands:
             Learn unified embeddings; writes source.emb / target.emb.
   match     --data DIR --embeddings DIR
             --algorithm <dinf|csls|rinf|rinf-wr|rinf-pb|sinkhorn|hungarian|smat|rl>
-            [--dummies] [--trace FILE] --out FILE
+            [--candidates <exact|lsh|ivf>] [--nlist N] [--nprobe N]
+            [--shortlist K] [--dummies] [--trace FILE] --out FILE
             Match the test candidates; writes predicted pairs as TSV.
+            --candidates selects the similarity stage: exact (dense, the
+            default), lsh (bucket blocking) or ivf (ANN index; --nlist
+            inverted lists, --nprobe probed per source, 0 = auto), each
+            keeping the top --shortlist scores per source (cosine only).
   eval      --data DIR --pairs FILE
             Score predicted pairs against the gold test links.
   trace     --file FILE [--chrome OUT.json]

@@ -12,7 +12,7 @@
 
 use crate::matching::Matching;
 use entmatcher_linalg::{dot, Matrix};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Random-hyperplane LSH blocker.
 #[derive(Debug, Clone)]
@@ -84,8 +84,13 @@ impl LshBlocker {
         let planes = self.hyperplanes(source.cols().max(1));
         let src_sigs = self.signatures(source, &planes);
         let tgt_sigs = self.signatures(target, &planes);
-        // Invert target signatures into per-table bucket maps.
-        let mut buckets: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); self.tables];
+        // Invert target signatures into per-table bucket maps. BTreeMap
+        // (not HashMap) so any iteration over buckets — now or in future
+        // callers — visits keys in sorted order: candidate generation must
+        // be bit-reproducible run-to-run under a fixed seed, and HashMap's
+        // per-process iteration order would silently break that the first
+        // time someone iterates a table.
+        let mut buckets: Vec<BTreeMap<u64, Vec<u32>>> = vec![BTreeMap::new(); self.tables];
         for (j, sigs) in tgt_sigs.iter().enumerate() {
             for (t, &key) in sigs.iter().enumerate() {
                 buckets[t].entry(key).or_default().push(j as u32);
@@ -230,6 +235,45 @@ mod tests {
         let (s, t) = clustered_pair(100, 16, 0.1, 11);
         let blocker = LshBlocker::default();
         assert_eq!(blocker.block(&s, &t), blocker.block(&s, &t));
+    }
+
+    #[test]
+    fn blocking_is_reproducible_across_instances() {
+        // Two independently constructed blockers with the same knobs must
+        // produce identical candidate sets AND identical downstream
+        // matchings — the whole candidate path is a pure function of
+        // (embeddings, bits, tables, seed).
+        let (s, t) = clustered_pair(150, 16, 0.1, 13);
+        let run = || {
+            let blocker = LshBlocker {
+                bits: 9,
+                tables: 3,
+                seed: 77,
+            };
+            (blocker.block(&s, &t), blocker.blocked_greedy(&s, &t))
+        };
+        let (blocks_a, match_a) = run();
+        let (blocks_b, match_b) = run();
+        assert_eq!(blocks_a, blocks_b);
+        assert_eq!(match_a.assignment(), match_b.assignment());
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_panic() {
+        let blocker = LshBlocker::default();
+        let empty = Matrix::zeros(0, 8);
+        let one = Matrix::from_fn(1, 8, |_, c| c as f32 + 1.0);
+
+        // n == 0 on either or both sides.
+        assert!(blocker.block(&empty, &empty).is_empty());
+        assert!(blocker.block(&empty, &one).is_empty());
+        assert_eq!(blocker.block(&one, &empty), vec![Vec::<u32>::new()]);
+
+        // n == 1: the single pair either collides or abstains, no panic.
+        let blocks = blocker.block(&one, &one);
+        assert_eq!(blocks.len(), 1);
+        let m = blocker.blocked_greedy(&one, &empty);
+        assert_eq!(m.assignment(), &[None]);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! assert_eq!(result.matching.assignment(), &[Some(0), Some(1), Some(2)]);
 //! ```
 
+pub mod ann;
 pub mod blocking;
 pub mod dummy;
 pub mod error;
@@ -41,12 +42,15 @@ pub mod similarity;
 pub mod spec;
 pub mod streaming;
 
+pub use ann::{
+    CandidateSource, ExactStreaming, IvfCandidates, IvfIndex, IvfParams, LshCandidates, Shortlist,
+};
 pub use blocking::LshBlocker;
 pub use error::CoreError;
 pub use matching::multi::{MultiMatching, ProbabilisticMatcher, ThresholdMatcher};
 pub use matching::{greedy::Greedy, hungarian::Hungarian, rl::RlMatcher, stable::StableMarriage};
 pub use matching::{MatchContext, Matcher, Matching};
-pub use pipeline::{ExecutionReport, MatchPipeline};
+pub use pipeline::{CandidateStrategy, ExecutionReport, MatchPipeline};
 pub use score::csls::Gid;
 pub use score::{
     csls::Csls, rinf::RInf, rinf::RInfProgressive, sinkhorn::Sinkhorn, NoOp, ScoreOptimizer,

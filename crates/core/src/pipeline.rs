@@ -9,13 +9,42 @@
 //! are derived from those same span measurements, so the report and an
 //! exported trace always agree.
 
+use crate::ann::{
+    densify_fill, densify_shortlist, CandidateSource, IvfCandidates, IvfParams, LshCandidates,
+};
+use crate::blocking::LshBlocker;
 use crate::dummy::pad_with_dummies;
 use crate::matching::{MatchContext, Matcher, Matching};
 use crate::score::ScoreOptimizer;
 use crate::similarity::{similarity_matrix, SimilarityMetric};
-use entmatcher_linalg::Matrix;
+use entmatcher_linalg::{normalize_rows_l2, Matrix};
 use entmatcher_support::telemetry;
 use std::time::Duration;
+
+/// How the pipeline generates the candidate scores the optimizer and
+/// matcher consume.
+#[derive(Debug, Clone)]
+pub enum CandidateStrategy {
+    /// Dense `n_s x n_t` similarity matrix — every pair scored. The
+    /// default, and the only strategy for distance metrics.
+    Exact,
+    /// LSH blocking: only bucket-colliding pairs scored, rescored into a
+    /// top-k shortlist per source.
+    Lsh(LshBlocker),
+    /// IVF-flat ANN index over the target side, probed per source.
+    Ivf(IvfParams),
+}
+
+impl CandidateStrategy {
+    /// Short name used in traces and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CandidateStrategy::Exact => "exact",
+            CandidateStrategy::Lsh(_) => "lsh",
+            CandidateStrategy::Ivf(_) => "ivf",
+        }
+    }
+}
 
 /// A composed matching pipeline.
 pub struct MatchPipeline {
@@ -25,6 +54,14 @@ pub struct MatchPipeline {
     pub optimizer: Box<dyn ScoreOptimizer>,
     /// Matcher producing aligned pairs.
     pub matcher: Box<dyn Matcher>,
+    /// Candidate generation strategy. Non-exact strategies replace the
+    /// dense similarity pass with a per-source shortlist (cosine metric
+    /// only — the ANN structures speak dot products); the shortlist is
+    /// densified with a below-minimum fill so the downstream optimizer
+    /// and matcher are unchanged.
+    pub candidates: CandidateStrategy,
+    /// Shortlist length per source for non-exact strategies.
+    pub shortlist_k: usize,
     /// Whether to square the score matrix with dummy nodes before matching
     /// (the paper's unmatchable-setting protocol for Hun./SMat, §5.1).
     pub pad_dummies: bool,
@@ -88,9 +125,20 @@ impl MatchPipeline {
             metric,
             optimizer,
             matcher,
+            candidates: CandidateStrategy::Exact,
+            shortlist_k: 32,
             pad_dummies: false,
             dummy_quantile: 0.9,
         }
+    }
+
+    /// Selects a candidate-generation strategy and the per-source
+    /// shortlist length it keeps.
+    pub fn with_candidates(mut self, strategy: CandidateStrategy, shortlist_k: usize) -> Self {
+        assert!(shortlist_k >= 1, "shortlist must keep at least one candidate");
+        self.candidates = strategy;
+        self.shortlist_k = shortlist_k;
+        self
     }
 
     /// Enables dummy-node padding (see [`crate::dummy`]) with the given
@@ -115,6 +163,39 @@ impl MatchPipeline {
         )
     }
 
+    /// The similarity-stage score matrix under the configured candidate
+    /// strategy. Exact (and any non-cosine metric, where the dot-product
+    /// ANN structures don't apply) computes the dense matrix; LSH/IVF
+    /// build a per-source shortlist on the row-normalized embeddings and
+    /// densify it with a below-minimum fill, so non-candidates can never
+    /// outrank a scored pair downstream.
+    fn candidate_scores(&self, source: &Matrix, target: &Matrix) -> Matrix {
+        let source_impl: Box<dyn CandidateSource> = match (&self.candidates, self.metric) {
+            (CandidateStrategy::Exact, _) | (_, SimilarityMetric::Euclidean)
+            | (_, SimilarityMetric::Manhattan) => {
+                return similarity_matrix(source, target, self.metric);
+            }
+            (CandidateStrategy::Lsh(blocker), SimilarityMetric::Cosine) => {
+                Box::new(LshCandidates {
+                    blocker: blocker.clone(),
+                })
+            }
+            (CandidateStrategy::Ivf(params), SimilarityMetric::Cosine) => {
+                Box::new(IvfCandidates { params: *params })
+            }
+        };
+        let mut s = source.clone();
+        let mut t = target.clone();
+        normalize_rows_l2(&mut s);
+        normalize_rows_l2(&mut t);
+        let shortlist = source_impl.shortlist(&s, &t, self.shortlist_k);
+        telemetry::add(
+            "pipeline.shortlist.candidates",
+            shortlist.iter().map(|hits| hits.len() as u64).sum(),
+        );
+        densify_shortlist(&shortlist, target.rows(), densify_fill(&shortlist))
+    }
+
     /// Runs the full pipeline on unified candidate embeddings
     /// (`n_s x d` source rows, `n_t x d` target rows).
     pub fn execute(&self, source: &Matrix, target: &Matrix, ctx: &MatchContext) -> ExecutionReport {
@@ -123,7 +204,7 @@ impl MatchPipeline {
         let padding = self.pad_dummies && n_s != n_t;
 
         let mut sim_span = telemetry::span("similarity");
-        let scores = similarity_matrix(source, target, self.metric);
+        let scores = self.candidate_scores(source, target);
         let sim_bytes = scores.heap_bytes();
         sim_span.add_bytes(sim_bytes as u64);
         let similarity_time = sim_span.finish();
@@ -363,6 +444,94 @@ mod tests {
             .children(pipeline.id)
             .iter()
             .all(|sp| sp.tid == pipeline.tid));
+    }
+
+    #[test]
+    fn candidate_strategies_agree_with_exact_on_easy_data() {
+        use entmatcher_data::{clustered_embeddings, EmbeddingSpec};
+
+        let pair = clustered_embeddings(&EmbeddingSpec {
+            entities: 150,
+            dim: 16,
+            clusters: 10,
+            spread: 0.25,
+            noise: 0.05,
+            seed: 31,
+        });
+        // NoOp optimizer so disagreement measures candidate recall alone:
+        // CSLS's neighbourhood statistics shift under densified fill and
+        // would conflate rescoring drift with missed candidates.
+        let build = |strategy: CandidateStrategy| {
+            MatchPipeline::new(SimilarityMetric::Cosine, Box::new(NoOp), Box::new(Greedy))
+                .with_candidates(strategy, 16)
+        };
+        let exact = build(CandidateStrategy::Exact)
+            .execute(&pair.source, &pair.target, &MatchContext::default());
+        for strategy in [
+            CandidateStrategy::Lsh(LshBlocker {
+                bits: 8,
+                tables: 8,
+                seed: 41,
+            }),
+            CandidateStrategy::Ivf(IvfParams::default()),
+        ] {
+            let name = strategy.name();
+            let approx =
+                build(strategy).execute(&pair.source, &pair.target, &MatchContext::default());
+            let agree = exact
+                .matching
+                .assignment()
+                .iter()
+                .zip(approx.matching.assignment())
+                .filter(|(a, b)| a == b)
+                .count();
+            assert!(
+                agree >= 135,
+                "{name} strategy agrees with exact on only {agree}/150 sources"
+            );
+        }
+    }
+
+    #[test]
+    fn ivf_strategy_emits_probe_spans_under_similarity() {
+        use entmatcher_data::{clustered_embeddings, EmbeddingSpec};
+        use entmatcher_support::telemetry;
+
+        let _guard = crate::telemetry_test_lock();
+        let pair = clustered_embeddings(&EmbeddingSpec {
+            entities: 80,
+            dim: 16,
+            clusters: 8,
+            spread: 0.25,
+            noise: 0.05,
+            seed: 12,
+        });
+        let p = MatchPipeline::new(
+            SimilarityMetric::Cosine,
+            Box::new(NoOp),
+            Box::new(Greedy),
+        )
+        .with_candidates(CandidateStrategy::Ivf(IvfParams::default()), 8);
+        telemetry::set_enabled(true);
+        let r = p.execute(&pair.source, &pair.target, &MatchContext::default());
+        let trace = telemetry::snapshot();
+        telemetry::set_enabled(false);
+
+        let sim = trace
+            .spans_named("similarity")
+            .find(|sp| sp.duration_ns == r.similarity_time.as_nanos() as u64)
+            .expect("similarity span recorded");
+        let kids = trace.children(sim.id);
+        assert!(
+            kids.iter().any(|sp| sp.name == "ann.train"),
+            "ann.train under similarity, got {kids:?}"
+        );
+        assert!(
+            kids.iter().any(|sp| sp.name == "ann.probe"),
+            "ann.probe under similarity, got {kids:?}"
+        );
+        assert!(trace.counter("ann.candidates").unwrap_or(0) > 0);
+        assert!(trace.counter("pipeline.shortlist.candidates").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! Everything is deterministic given the spec's seed.
 
 pub mod benchmarks;
+pub mod embeddings;
 pub mod latent;
 pub mod materialize;
 pub mod names;
@@ -33,5 +34,6 @@ pub mod spec;
 pub mod zipf;
 
 pub use benchmarks::{dbp15k, dbp15k_plus, dwy100k, fb_dbp_mul, srprs, BenchmarkSuite};
+pub use embeddings::{clustered_embeddings, EmbeddingPair, EmbeddingSpec};
 pub use materialize::generate_pair;
 pub use spec::{DegreeModel, PairSpec};

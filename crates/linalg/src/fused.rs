@@ -178,19 +178,33 @@ fn fused_scan<S: Send + Default + Clone>(
     b: &Matrix,
     visit: impl Fn(&mut S, usize, usize, &[f32]) + Sync,
 ) -> Vec<S> {
+    if a.rows() == 0 || b.rows() == 0 {
+        telemetry::add("fused.rows", a.rows() as u64);
+        return vec![S::default(); a.rows()];
+    }
+    fused_scan_packed(a, &PackedB::pack(b), visit)
+}
+
+/// [`fused_scan`] against a *pre-packed* right operand — the entry point
+/// for callers that amortize packing across many scans (e.g. ANN inverted
+/// lists stored directly as packed strips).
+fn fused_scan_packed<S: Send + Default + Clone>(
+    a: &Matrix,
+    packed: &PackedB,
+    visit: impl Fn(&mut S, usize, usize, &[f32]) + Sync,
+) -> Vec<S> {
     let m = a.rows();
     let mut state = vec![S::default(); m];
-    if m == 0 || b.rows() == 0 {
+    if m == 0 || packed.n() == 0 {
         telemetry::add("fused.rows", m as u64);
         return state;
     }
-    let packed = PackedB::pack(b);
     let strips = packed.strips();
     let pass_strips = packed.panel_strips().min(MAX_TILE_STRIPS);
     let stride = tile_stride(pass_strips);
     let tiles = std::sync::atomic::AtomicU64::new(0);
     let visit = &visit;
-    let packed_ref = &packed;
+    let packed_ref = packed;
     // One state item scans the entire packed operand (n * d work); never
     // split tasks below the streaming tile height.
     let grain = Grain::for_item_cost(packed.n().saturating_mul(packed.d().max(1)))
@@ -241,6 +255,35 @@ pub fn fused_topk(a: &Matrix, b: &Matrix, k: usize) -> Result<Vec<Vec<(u32, f32)
     struct St(Option<TopKAccumulator>);
     let kk = k;
     let state = fused_scan::<St>(a, b, |st, _row, col0, scores| {
+        let acc = st.0.get_or_insert_with(|| TopKAccumulator::new(kk));
+        for (j, &v) in scores.iter().enumerate() {
+            acc.push((col0 + j) as u32, v);
+        }
+    });
+    Ok(state
+        .into_iter()
+        .map(|st| st.0.map(TopKAccumulator::into_sorted_desc).unwrap_or_default())
+        .collect())
+}
+
+/// [`fused_topk`] against a *pre-packed* right operand: per-row top-`k`
+/// `(index, score)` pairs of `A * P^T`, best first. Packing cost is paid
+/// once by the caller and amortized over many scans — the tile path
+/// (register blocks, SIMD dispatch, bounded heaps) is identical to
+/// [`fused_topk`], so the scores are bit-identical to the dense product of
+/// `a` with the matrix `P` was packed from.
+pub fn fused_topk_packed(a: &Matrix, packed: &PackedB, k: usize) -> Result<Vec<Vec<(u32, f32)>>> {
+    if a.cols() != packed.d() {
+        return Err(LinalgError::DimMismatch {
+            op: "fused_topk_packed",
+            left: a.shape(),
+            right: (packed.n(), packed.d()),
+        });
+    }
+    #[derive(Clone, Default)]
+    struct St(Option<TopKAccumulator>);
+    let kk = k;
+    let state = fused_scan_packed::<St>(a, packed, |st, _row, col0, scores| {
         let acc = st.0.get_or_insert_with(|| TopKAccumulator::new(kk));
         for (j, &v) in scores.iter().enumerate() {
             acc.push((col0 + j) as u32, v);
@@ -370,6 +413,25 @@ mod tests {
                 assert_eq!(v, dense.get(i, j as usize));
             }
         }
+    }
+
+    #[test]
+    fn fused_topk_packed_matches_unpacked() {
+        let a = seq_matrix(14, 7, 11);
+        let b = seq_matrix(37, 7, 12);
+        let packed = PackedB::pack(&b);
+        for k in [1usize, 4, 50] {
+            assert_eq!(
+                fused_topk_packed(&a, &packed, k).unwrap(),
+                fused_topk(&a, &b, k).unwrap(),
+                "k={k}"
+            );
+        }
+        // Degenerate shapes and dim mismatch behave like the unpacked API.
+        let empty = PackedB::pack(&Matrix::zeros(0, 7));
+        assert_eq!(fused_topk_packed(&a, &empty, 3).unwrap(), vec![vec![]; 14]);
+        let wrong = PackedB::pack(&Matrix::zeros(4, 9));
+        assert!(fused_topk_packed(&a, &wrong, 3).is_err());
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod snapshot;
 pub mod stats;
 
 pub use error::LinalgError;
-pub use fused::{fused_argmax_affine, fused_topk, fused_topk_means, TopKAccumulator};
+pub use fused::{
+    fused_argmax_affine, fused_topk, fused_topk_means, fused_topk_packed, TopKAccumulator,
+};
 pub use gemm::{matmul_blocked, matmul_blocked_with, PackedB};
 pub use simd::SimdLevel;
 pub use matrix::Matrix;

@@ -1,28 +1,44 @@
 #!/usr/bin/env sh
-# Performance gate for the similarity kernels: re-runs the kernels
-# benchmark at full size and fails when the best throughput of a gated
-# kernel regresses more than ENTMATCHER_BENCH_TOLERANCE_PCT (default 20)
-# percent below the committed baseline artifact `BENCH_kernels.json`.
-# Gated kernels: `blocked` (the runtime-dispatched SIMD micro-kernel —
-# the production hot path) and `blocked_scalar` (the scalar reference, so
-# a regression hiding under SIMD gains is still caught).
+# Performance gate for the similarity hot path: re-runs the kernels and
+# ANN benchmarks at full size and fails on regression against the
+# committed baseline artifacts.
+#
+# Kernels gate: best GFLOP/s of `blocked` (the runtime-dispatched SIMD
+# micro-kernel — the production hot path) and `blocked_scalar` (the
+# scalar reference, so a regression hiding under SIMD gains is still
+# caught) must stay within ENTMATCHER_BENCH_TOLERANCE_PCT (default 20)
+# percent of the `BENCH_kernels.json` baseline.
+#
+# ANN gate: the fresh sweep must contain at least one probe width with
+# recall@10 >= ENTMATCHER_ANN_RECALL_FLOOR (default 0.95) at speedup >=
+# ENTMATCHER_ANN_SPEEDUP_FLOOR (default 5) over the blocked-exact oracle
+# — the acceptance point of the IVF candidate path — and the best
+# qualifying speedup must stay within the tolerance of the committed
+# `BENCH_ann.json` baseline.
 #
 # This is deliberately a separate script from verify.sh: the full bench
 # takes minutes and wall-clock throughput is only meaningful on a quiet
 # machine, so the gate is for perf-sensitive changes (and dedicated perf
 # CI), not every test run.
 #
-#   sh scripts/bench_gate.sh            # gate against BENCH_kernels.json
+#   sh scripts/bench_gate.sh            # gate against committed baselines
 #   ENTMATCHER_BENCH_TOLERANCE_PCT=10 sh scripts/bench_gate.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BASELINE="BENCH_kernels.json"
+ANN_BASELINE="BENCH_ann.json"
 TOLERANCE="${ENTMATCHER_BENCH_TOLERANCE_PCT:-20}"
+ANN_RECALL_FLOOR="${ENTMATCHER_ANN_RECALL_FLOOR:-0.95}"
+ANN_SPEEDUP_FLOOR="${ENTMATCHER_ANN_SPEEDUP_FLOOR:-5}"
 
 [ -f "$BASELINE" ] || {
     echo "bench_gate: baseline $BASELINE missing (run the kernels bench and commit its output)" >&2
+    exit 1
+}
+[ -f "$ANN_BASELINE" ] || {
+    echo "bench_gate: baseline $ANN_BASELINE missing (run the ann bench and commit its output)" >&2
     exit 1
 }
 
@@ -44,8 +60,26 @@ max_kernel_gflops() {
     ' "$1"
 }
 
+# Best speedup among sweep rows meeting the recall floor in an ann-bench
+# JSON artifact. Same line-based format: each entry's "recall_at_10" line
+# precedes its "speedup" line.
+best_qualifying_speedup() {
+    awk -v floor="$2" '
+        /"recall_at_10":/ { r = $2 + 0 }
+        /"speedup":/ {
+            s = $2 + 0
+            if (r >= floor && s > best) best = s
+        }
+        END {
+            if (best <= 0) exit 1
+            print best
+        }
+    ' "$1"
+}
+
 FRESH_OUT=$(mktemp)
-trap 'rm -f "$FRESH_OUT"' EXIT
+ANN_FRESH_OUT=$(mktemp)
+trap 'rm -f "$FRESH_OUT" "$ANN_FRESH_OUT"' EXIT
 
 # Full-size run: QUICK must be off or the timings are meaningless.
 echo "bench_gate: running kernels bench (full size, this takes a while)..."
@@ -78,4 +112,32 @@ for KERNEL in blocked blocked_scalar; do
         printf "bench_gate: ok: %s %.2f GFLOP/s vs baseline %.2f (floor %.2f, tolerance %s%%)\n", k, fresh, base, floor, tol
     }' || STATUS=1
 done
+
+# ANN gate: full-size recall-vs-speedup sweep (100k entities — the exact
+# oracle pass alone is ~1.3 TFLOP, so this is the slow half of the gate).
+echo "bench_gate: running ann bench (full size, this takes a while)..."
+ENTMATCHER_ANN_BENCH_OUT="$ANN_FRESH_OUT" \
+    cargo bench --offline -p entmatcher-bench --bench ann >/dev/null
+
+ANN_BASE=$(best_qualifying_speedup "$ANN_BASELINE" "$ANN_RECALL_FLOOR") || {
+    echo "bench_gate: no row with recall >= $ANN_RECALL_FLOOR in baseline $ANN_BASELINE" >&2
+    exit 1
+}
+ANN_FRESH=$(best_qualifying_speedup "$ANN_FRESH_OUT" "$ANN_RECALL_FLOOR") || {
+    echo "bench_gate: FAIL: no fresh sweep row reaches recall@10 >= $ANN_RECALL_FLOOR (recall-floor breach)" >&2
+    exit 1
+}
+awk -v fresh="$ANN_FRESH" -v base="$ANN_BASE" -v tol="$TOLERANCE" \
+    -v sfloor="$ANN_SPEEDUP_FLOOR" -v rfloor="$ANN_RECALL_FLOOR" 'BEGIN {
+    if (fresh < sfloor) {
+        printf "bench_gate: FAIL: ann best speedup at recall >= %s is %.2fx, below the absolute %sx floor\n", rfloor, fresh, sfloor
+        exit 1
+    }
+    floor = base * (1 - tol / 100)
+    if (fresh < floor) {
+        printf "bench_gate: FAIL: ann best speedup %.2fx is below the %.2fx floor (baseline %.2fx, tolerance %s%%)\n", fresh, floor, base, tol
+        exit 1
+    }
+    printf "bench_gate: ok: ann %.2fx at recall >= %s vs baseline %.2fx (floor %.2fx, tolerance %s%%)\n", fresh, rfloor, base, floor, tol
+}' || STATUS=1
 exit "$STATUS"

@@ -29,6 +29,20 @@ cargo test -q --offline --workspace
 echo "verify: re-running tests with ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off"
 ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off cargo test -q --offline --workspace
 
+# ANN candidate-generation group, called out by name: k-means training
+# parallelizes over fixed-size row chunks and the oracle recall floors
+# are bitwise/statistical claims, so this group in particular must hold
+# under the degenerate execution config — a thread-count- or SIMD-
+# dependent result here is a correctness bug, not a perf difference.
+echo "verify: ANN test group (defaults)"
+cargo test -q --offline -p entmatcher-core --lib ann
+cargo test -q --offline -p entmatcher-core --test ann_recall
+echo "verify: ANN test group (ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off)"
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-core --lib ann
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-core --test ann_recall
+
 # Telemetry smoke test: run a small end-to-end match with --trace and
 # check the exported JSON parses and contains the pipeline stage spans.
 SMOKE=$(mktemp -d)
@@ -151,3 +165,24 @@ grep -q '"kernel": "blocked"' "$KERNELS_OUT" || {
     exit 1
 }
 echo "verify: kernel bench smoke passed"
+
+# ANN-bench smoke: quick-size recall-vs-speedup sweep; the self-check
+# validates JSON structure and recall monotonicity (the 0.95-recall /
+# 5x-speedup acceptance point is asserted by bench_gate.sh at full size,
+# where the numbers mean something).
+ANN_OUT="$SMOKE/BENCH_ann.json"
+ANN_LOG=$(ENTMATCHER_ANN_BENCH_OUT="$ANN_OUT" \
+    cargo bench --offline -p entmatcher-bench --bench ann 2>&1) || {
+    echo "verify: ann bench failed" >&2
+    echo "$ANN_LOG" >&2
+    exit 1
+}
+echo "$ANN_LOG" | grep -q "self-check ok" || {
+    echo "verify: ann bench self-check marker missing" >&2
+    exit 1
+}
+grep -q '"recall_at_10"' "$ANN_OUT" || {
+    echo "verify: no recall entry in $ANN_OUT" >&2
+    exit 1
+}
+echo "verify: ann bench smoke passed"
