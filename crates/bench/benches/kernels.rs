@@ -32,10 +32,16 @@ use entmatcher_linalg::parallel::{self, par_row_chunks_mut};
 use entmatcher_linalg::{
     fused_topk, matmul_blocked, matmul_blocked_with, matmul_naive, Matrix, SimdLevel,
 };
+use entmatcher_support::alloc::{self, CountingAlloc};
 use entmatcher_support::json::{self, Json, Map, ToJson};
 use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
 use std::hint::black_box;
 use std::time::Instant;
+
+// Backs the per-kernel measured heap column: the first repetition of every
+// measurement runs under a counting-allocator scope.
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// One measured configuration.
 struct Entry {
@@ -46,6 +52,7 @@ struct Entry {
     seconds: f64,
     gflops: f64,
     reps: u32,
+    heap_peak_bytes: u64,
 }
 
 impl ToJson for Entry {
@@ -58,6 +65,7 @@ impl ToJson for Entry {
         map.insert("seconds", self.seconds);
         map.insert("gflops", self.gflops);
         map.insert("reps", self.reps);
+        map.insert("heap_peak_bytes", self.heap_peak_bytes);
         Json::Obj(map)
     }
 }
@@ -70,16 +78,23 @@ fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
 /// Times `body` with adaptive repetitions: at least one rep, and more
 /// (up to `max_reps`) until the measurement exceeds ~0.3 s, so tiny
 /// configurations are not noise-dominated while 10k+ ones run once.
-fn measure(max_reps: u32, mut body: impl FnMut()) -> (f64, u32) {
-    let mut reps = 0u32;
+/// The first repetition runs under a counting-allocator scope so every
+/// entry also records its measured peak heap (the counting overhead on
+/// that single rep is < 3% — see the memory bench's overhead row).
+fn measure(tag: &str, max_reps: u32, mut body: impl FnMut()) -> (f64, u32, u64) {
+    let mem_was = alloc::enabled();
+    alloc::set_enabled(true);
     let start = Instant::now();
+    let ((), heap_peak) = alloc::measure_peak(tag, &mut body);
+    alloc::set_enabled(mem_was);
+    let mut reps = 1u32;
     loop {
-        body();
-        reps += 1;
         let elapsed = start.elapsed().as_secs_f64();
         if reps >= max_reps || elapsed > 0.3 {
-            return (elapsed / reps as f64, reps);
+            return (elapsed / reps as f64, reps, heap_peak);
         }
+        body();
+        reps += 1;
     }
 }
 
@@ -96,7 +111,7 @@ fn bench_config(
     // One multiply + one add per (i, j, d) triple.
     let flops = 2.0 * (n as f64) * (n as f64) * (d as f64);
     if dense {
-        let (secs, reps) = measure(max_reps, || {
+        let (secs, reps, heap_peak_bytes) = measure("naive", max_reps, || {
             black_box(matmul_naive(&a, &b).unwrap());
         });
         entries.push(Entry {
@@ -107,9 +122,10 @@ fn bench_config(
             seconds: secs,
             gflops: flops / secs / 1e9,
             reps,
+            heap_peak_bytes,
         });
         eprintln!("kernels: naive   n={n} d={d}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
-        let (secs, reps) = measure(max_reps, || {
+        let (secs, reps, heap_peak_bytes) = measure("blocked", max_reps, || {
             black_box(matmul_blocked(&a, &b).unwrap());
         });
         entries.push(Entry {
@@ -120,9 +136,10 @@ fn bench_config(
             seconds: secs,
             gflops: flops / secs / 1e9,
             reps,
+            heap_peak_bytes,
         });
         eprintln!("kernels: blocked n={n} d={d}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
-        let (secs, reps) = measure(max_reps, || {
+        let (secs, reps, heap_peak_bytes) = measure("blocked_scalar", max_reps, || {
             black_box(matmul_blocked_with(&a, &b, SimdLevel::Scalar).unwrap());
         });
         entries.push(Entry {
@@ -133,10 +150,11 @@ fn bench_config(
             seconds: secs,
             gflops: flops / secs / 1e9,
             reps,
+            heap_peak_bytes,
         });
         eprintln!("kernels: blocked_scalar n={n} d={d}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
     }
-    let (secs, reps) = measure(max_reps, || {
+    let (secs, reps, heap_peak_bytes) = measure("fused_topk", max_reps, || {
         black_box(fused_topk(&a, &b, fused_k).unwrap());
     });
     entries.push(Entry {
@@ -147,6 +165,7 @@ fn bench_config(
         seconds: secs,
         gflops: flops / secs / 1e9,
         reps,
+        heap_peak_bytes,
     });
     eprintln!("kernels: fused   n={n} d={d} k={fused_k}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
 }
@@ -173,7 +192,7 @@ fn bench_pool_vs_spawn(
 ) {
     let mut m = random_embeddings(rows, cols, 0x77);
     let flops = 2.0 * (rows * cols * calls) as f64;
-    let (secs, reps) = measure(max_reps, || {
+    let (secs, reps, heap_peak_bytes) = measure("par_pool", max_reps, || {
         for _ in 0..calls {
             par_row_chunks_mut(m.as_mut_slice(), cols, |_, chunk| sweep_rows(chunk));
         }
@@ -187,6 +206,7 @@ fn bench_pool_vs_spawn(
         seconds: secs,
         gflops: flops / secs / 1e9,
         reps,
+        heap_peak_bytes,
     });
     eprintln!(
         "kernels: par_pool  rows={rows} d={cols} calls={calls}: {secs:.4}s ({:.2} GFLOP/s)",
@@ -195,7 +215,7 @@ fn bench_pool_vs_spawn(
 
     let workers = parallel::workers();
     let chunk_rows = rows.div_ceil(workers).max(1);
-    let (secs, reps) = measure(max_reps, || {
+    let (secs, reps, heap_peak_bytes) = measure("par_spawn", max_reps, || {
         for _ in 0..calls {
             let data = m.as_mut_slice();
             std::thread::scope(|scope| {
@@ -214,6 +234,7 @@ fn bench_pool_vs_spawn(
         seconds: secs,
         gflops: flops / secs / 1e9,
         reps,
+        heap_peak_bytes,
     });
     eprintln!(
         "kernels: par_spawn rows={rows} d={cols} calls={calls}: {secs:.4}s ({:.2} GFLOP/s)",

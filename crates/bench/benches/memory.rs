@@ -1,0 +1,307 @@
+//! Measured-memory benchmark: per-stage peak heap, bytes/entity, and the
+//! counting-allocator overhead — `BENCH_memory.json`.
+//!
+//! Where the kernels bench tracks throughput, this target tracks the
+//! *memory trajectory* of the pipeline stages the paper's Figure 5 /
+//! Table 6 analyze: each stage runs once under a counting-allocator scope
+//! ([`entmatcher_support::alloc`]) and records its measured peak live
+//! heap next to the modeled byte estimate the `ExecutionReport` is built
+//! from, normalized to bytes per entity so two scales are comparable. A
+//! regression in bytes/entity means a stage started materializing
+//! something new — `scripts/bench_gate.sh` gates it at the same 20%
+//! tolerance as throughput.
+//!
+//! Stages, at each scale `n` (d = 64):
+//! * `gemm`        — blocked similarity product (dense n x n output);
+//! * `sinkhorn`    — Sinkhorn on an n x n score matrix (in place: the
+//!                   input clone dominates, aux is O(n));
+//! * `rinf_wr`     — RInf-wr on an n x n score matrix (input + output
+//!                   cells, no transposed copies);
+//! * `csls_stream` — streaming CSLS over the fused cosine path (O(n)
+//!                   state, the sub-quadratic contrast to the above);
+//! * `ivf_train` / `ivf_probe` — IVF-flat index build and search.
+//!
+//! The `alloc_overhead_pct` field times the blocked GEMM with counting
+//! off vs on (best-of-reps); `--full` mode asserts it stays under 3%,
+//! default mode only records it (CI machines are too noisy for a hard
+//! floor).
+//!
+//! Modes: default — n = 2000 and 5000; `--full` — adds n = 10000 and the
+//! overhead assertion; `ENTMATCHER_BENCH_QUICK=1` / `--test` / `--quick`
+//! — one tiny scale, artifact into the temp dir. Output path:
+//! `ENTMATCHER_MEMORY_BENCH_OUT`, else `BENCH_memory.json` in the
+//! workspace root.
+
+use entmatcher_core::score::rinf::RInf;
+use entmatcher_core::score::sinkhorn::Sinkhorn;
+use entmatcher_core::score::ScoreOptimizer;
+use entmatcher_core::similarity::SimilarityMetric;
+use entmatcher_core::streaming::{streaming_aux_bytes, streaming_csls};
+use entmatcher_core::{IvfIndex, IvfParams};
+use entmatcher_linalg::{matmul_blocked, Matrix};
+use entmatcher_support::alloc::{self, CountingAlloc};
+use entmatcher_support::json::{self, Json, Map, ToJson};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const DIM: usize = 64;
+
+/// One measured stage at one scale.
+struct Entry {
+    stage: &'static str,
+    n: usize,
+    d: usize,
+    heap_peak_bytes: u64,
+    bytes_per_entity: f64,
+    modeled_bytes: u64,
+    seconds: f64,
+}
+
+impl ToJson for Entry {
+    fn to_json(&self) -> Json {
+        let mut map = Map::new();
+        map.insert("stage", self.stage);
+        map.insert("n", self.n);
+        map.insert("d", self.d);
+        map.insert("heap_peak_bytes", self.heap_peak_bytes);
+        map.insert("bytes_per_entity", self.bytes_per_entity);
+        map.insert("modeled_bytes", self.modeled_bytes);
+        map.insert("seconds", self.seconds);
+        Json::Obj(map)
+    }
+}
+
+fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() - 0.5)
+}
+
+/// Runs one stage body under a counting scope and records its row.
+fn stage(
+    entries: &mut Vec<Entry>,
+    name: &'static str,
+    n: usize,
+    modeled_bytes: u64,
+    body: impl FnOnce(),
+) {
+    alloc::set_enabled(true);
+    let start = Instant::now();
+    let ((), heap_peak_bytes) = alloc::measure_peak(name, body);
+    let seconds = start.elapsed().as_secs_f64();
+    alloc::set_enabled(false);
+    let bytes_per_entity = heap_peak_bytes as f64 / n as f64;
+    eprintln!(
+        "memory: {name:<12} n={n}: peak {:.1} MB ({bytes_per_entity:.0} B/entity, \
+         modeled {:.1} MB) in {seconds:.2}s",
+        heap_peak_bytes as f64 / 1e6,
+        modeled_bytes as f64 / 1e6,
+    );
+    entries.push(Entry {
+        stage: name,
+        n,
+        d: DIM,
+        heap_peak_bytes,
+        bytes_per_entity,
+        modeled_bytes,
+        seconds,
+    });
+}
+
+fn bench_scale(entries: &mut Vec<Entry>, n: usize) {
+    let a = random_embeddings(n, DIM, 0xC1);
+    let b = random_embeddings(n, DIM, 0xC2);
+    let cell = (n * n * 4) as u64;
+
+    // Dense similarity product: output cell + packed operand strips.
+    stage(entries, "gemm", n, cell + (2 * n * DIM * 4) as u64, || {
+        black_box(matmul_blocked(&a, &b).unwrap());
+    });
+
+    // The score-optimizer stages own their input (the pipeline moves the
+    // score matrix in), so the clone is part of each stage's footprint.
+    let scores = random_embeddings(n, n, 0xC3);
+    let sinkhorn = Sinkhorn {
+        iterations: 20,
+        ..Sinkhorn::default()
+    };
+    stage(
+        entries,
+        "sinkhorn",
+        n,
+        cell + sinkhorn.aux_bytes(n, n) as u64,
+        || {
+            black_box(sinkhorn.apply(scores.clone()));
+        },
+    );
+    let rinf_wr = RInf::without_ranking();
+    stage(
+        entries,
+        "rinf_wr",
+        n,
+        2 * cell + rinf_wr.aux_bytes(n, n) as u64,
+        || {
+            black_box(rinf_wr.apply(scores.clone()));
+        },
+    );
+    drop(scores);
+
+    // Streaming CSLS (fused cosine path): normalized copies + O(n) state.
+    let stream_model =
+        streaming_aux_bytes(n, n, 10, 1024, DIM) as u64 + (2 * n * DIM * 4) as u64;
+    stage(entries, "csls_stream", n, stream_model, || {
+        black_box(streaming_csls(&a, &b, SimilarityMetric::Cosine, 10, 1024));
+    });
+
+    // IVF-flat: train (packed lists + k-means scratch), then probe.
+    let params = IvfParams::default();
+    let nlist = ((n as f64).sqrt().round() as usize).max(1);
+    let build_model =
+        (2 * n * DIM * 4 + n * nlist * 4 + n * 8 + nlist * DIM * 8) as u64;
+    let mut index = None;
+    stage(entries, "ivf_train", n, build_model, || {
+        index = Some(IvfIndex::build(&b, &params));
+    });
+    let index = index.expect("ivf_train ran");
+    let probe_model = (n * (10 * 16 + nlist * 8)) as u64;
+    stage(entries, "ivf_probe", n, probe_model, || {
+        black_box(index.search(&a, 10, index.default_nprobe()));
+    });
+}
+
+/// Counting-allocator overhead on the blocked GEMM: best-of-`reps` time
+/// with counting off vs on, as a percentage (negative = noise). The two
+/// configurations are interleaved rep by rep so clock/cache drift hits
+/// both equally instead of biasing whichever runs second.
+fn gemm_overhead_pct(n: usize, reps: u32) -> f64 {
+    let a = random_embeddings(n, DIM, 0xD1);
+    let b = random_embeddings(n, DIM, 0xD2);
+    let one = |counting: bool| -> f64 {
+        alloc::set_enabled(counting);
+        let start = Instant::now();
+        // Under a scope, so the counting path exercises attribution
+        // too — the configuration ENTMATCHER_MEM runs actually pay.
+        let scope = alloc::HeapScope::open("overhead");
+        black_box(matmul_blocked(&a, &b).unwrap());
+        scope.finish();
+        let secs = start.elapsed().as_secs_f64();
+        alloc::set_enabled(false);
+        secs
+    };
+    one(false); // warm-up: page in the operands and the code path
+    let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        off = off.min(one(false));
+        on = on.min(one(true));
+    }
+    (on - off) / off * 100.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = std::env::var("ENTMATCHER_BENCH_QUICK").ok().as_deref() == Some("1")
+        || args.iter().any(|a| a == "--test" || a == "--quick");
+    let full = args.iter().any(|a| a == "--full");
+
+    let out_path = std::env::var("ENTMATCHER_MEMORY_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            if quick {
+                std::env::temp_dir().join("BENCH_memory.json")
+            } else {
+                let root = std::env::var("CARGO_MANIFEST_DIR")
+                    .map(|p| {
+                        std::path::Path::new(&p)
+                            .ancestors()
+                            .nth(2)
+                            .expect("workspace root")
+                            .to_path_buf()
+                    })
+                    .unwrap_or_else(|_| std::path::PathBuf::from("."));
+                root.join("BENCH_memory.json")
+            }
+        });
+
+    let mut entries = Vec::new();
+    let overhead_pct;
+    if quick {
+        bench_scale(&mut entries, 400);
+        overhead_pct = gemm_overhead_pct(400, 2);
+    } else {
+        bench_scale(&mut entries, 2000);
+        bench_scale(&mut entries, 5000);
+        if full {
+            bench_scale(&mut entries, 10_000);
+        }
+        overhead_pct = gemm_overhead_pct(2000, 7);
+    }
+    eprintln!("memory: counting-allocator overhead on blocked GEMM: {overhead_pct:.2}%");
+    if full {
+        assert!(
+            overhead_pct < 3.0,
+            "counting-allocator overhead {overhead_pct:.2}% breaches the 3% budget"
+        );
+    }
+
+    let mut doc = Map::new();
+    doc.insert("schema", "entmatcher/memory-bench/v1");
+    doc.insert(
+        "note",
+        "heap_peak_bytes measured by the counting allocator per stage scope; \
+         modeled_bytes is the aux_bytes-style estimate the reports use",
+    );
+    doc.insert("dim", DIM);
+    doc.insert("alloc_overhead_pct", overhead_pct);
+    doc.insert("quick", quick);
+    doc.insert("entries", &entries);
+    let text = Json::Obj(doc).pretty();
+    std::fs::write(&out_path, &text).expect("write BENCH_memory.json");
+
+    // Self-check: parse back; every stage present with a positive measured
+    // peak, and the GEMM peak covers at least its output matrix.
+    let parsed = json::Json::parse(&text).expect("BENCH_memory.json must parse");
+    let rows = parsed
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .expect("entries array");
+    for stage in [
+        "gemm",
+        "sinkhorn",
+        "rinf_wr",
+        "csls_stream",
+        "ivf_train",
+        "ivf_probe",
+    ] {
+        assert!(
+            rows.iter().any(|e| {
+                e.get("stage").and_then(|s| s.as_str()) == Some(stage)
+                    && e.get("heap_peak_bytes")
+                        .and_then(|v| v.as_f64())
+                        .is_some_and(|v| v > 0.0)
+            }),
+            "self-check: no measured '{stage}' row in artifact"
+        );
+    }
+    for e in rows {
+        if e.get("stage").and_then(|s| s.as_str()) == Some("gemm") {
+            let n = e.get("n").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let peak = e
+                .get("heap_peak_bytes")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            assert!(
+                peak >= n * n * 4.0,
+                "self-check: gemm peak {peak} below its own output matrix"
+            );
+        }
+    }
+    println!(
+        "memory bench: wrote {} ({} entries, overhead {:.2}%, self-check ok)",
+        out_path.display(),
+        rows.len(),
+        overhead_pct
+    );
+}

@@ -2,6 +2,13 @@
 
 use entmatcher_support::{json, telemetry};
 
+// The counting allocator backs `ENTMATCHER_MEM=1` and `--mem-profile`.
+// When neither is active it forwards straight to the system allocator
+// after one relaxed atomic load, so plain runs pay nothing measurable.
+#[global_allocator]
+static ALLOCATOR: entmatcher_support::alloc::CountingAlloc =
+    entmatcher_support::alloc::CountingAlloc;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = entmatcher_cli::run(&argv);

@@ -12,7 +12,7 @@ use entmatcher_graph::io::{load_pair_dir, save_pair_dir};
 use entmatcher_graph::metrics::degree_profile;
 use entmatcher_graph::{DatasetStats, KgPair, Link};
 use entmatcher_linalg::snapshot;
-use entmatcher_support::telemetry;
+use entmatcher_support::{alloc, telemetry};
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
@@ -66,21 +66,41 @@ impl From<std::io::Error> for CliError {
 ///   address is printed to stderr (port 0 picks an ephemeral port) and
 ///   the server lingers `ENTMATCHER_METRICS_LINGER_MS` after the command
 ///   so short runs stay scrapable.
+/// - `--mem-profile FILE` turns on the counting allocator and the sampled
+///   allocation profiler for the command, writing collapsed allocation
+///   stacks (span-stack names, byte-weighted) to `FILE`
+///   (`ENTMATCHER_MEM_SAMPLE` overrides the 1/61 sampling rate). With
+///   `ENTMATCHER_MEM=1` set instead, counting is on for the whole process
+///   and every telemetry span carries measured heap fields; either way
+///   telemetry recording is enabled so the measurements have spans to
+///   land on, and final `mem.*` counters are folded into the registry
+///   after the command (so they appear in `--trace` exports and on
+///   `/metrics`).
 pub fn run_command(args: &ParsedArgs) -> Result<String, CliError> {
     if args.has_flag("help") {
         return Ok(USAGE.to_owned());
     }
     let trace_path = args.get("trace").map(std::path::PathBuf::from);
     let profile_path = args.get("profile").map(std::path::PathBuf::from);
+    let mem_profile_path = args.get("mem-profile").map(std::path::PathBuf::from);
     let metrics_addr = args
         .get("metrics")
         .map(str::to_owned)
         .or_else(telemetry::expose::env_metrics_addr);
+    let mem_was = alloc::enabled();
+    if mem_profile_path.is_some() {
+        alloc::set_enabled(true);
+        alloc::start_sampling(alloc::env_sample_rate());
+    }
     let was_enabled = telemetry::enabled();
     if trace_path.is_some() || profile_path.is_some() {
         telemetry::reset();
     }
-    if trace_path.is_some() || profile_path.is_some() || metrics_addr.is_some() {
+    if trace_path.is_some()
+        || profile_path.is_some()
+        || metrics_addr.is_some()
+        || alloc::enabled()
+    {
         telemetry::set_enabled(true);
     }
     let server = match &metrics_addr {
@@ -98,7 +118,27 @@ pub fn run_command(args: &ParsedArgs) -> Result<String, CliError> {
 
     let result = dispatch(args);
 
+    // Fold the process-wide allocator totals into the registry before any
+    // export, so traces and scraped metrics carry the measured numbers.
+    if alloc::enabled() {
+        let stats = alloc::stats();
+        telemetry::add("mem.heap_peak_bytes", stats.peak_bytes);
+        telemetry::add("mem.heap_live_bytes", stats.live_bytes);
+        telemetry::add("mem.alloc_total", stats.allocs);
+    }
+
     let mut notes = Vec::new();
+    if let Some(path) = &mem_profile_path {
+        let profile = alloc::stop_sampling();
+        std::fs::write(path, profile.to_folded())?;
+        alloc::set_enabled(mem_was);
+        notes.push(format!(
+            "memory profile written to {} ({} samples at rate 1/{})",
+            path.display(),
+            profile.total_samples(),
+            profile.rate
+        ));
+    }
     if let (Some(profiler), Some(path)) = (profiler, &profile_path) {
         let profile = profiler.stop();
         std::fs::write(path, profile.to_folded())?;
@@ -363,8 +403,18 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
         writeln!(file, "{u}\t{v}")?;
     }
     file.flush()?;
+    // With ENTMATCHER_MEM counting on, the pipeline span measured its real
+    // peak; print it next to the model so the two are easy to compare.
+    let measured = if report.measured_heap_peak_bytes > 0 {
+        format!(
+            ", measured peak {:.1} MB",
+            report.measured_heap_peak_bytes as f64 / 1e6
+        )
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "matched {} of {} candidates with {} in {:.2}s (~{:.1} MB aux) -> {}",
+        "matched {} of {} candidates with {} in {:.2}s (~{:.1} MB aux{measured}) -> {}",
         report.matching.matched_count(),
         task.num_sources(),
         algorithm.name(),

@@ -79,7 +79,21 @@ observability:
                      address prints to stderr; ENTMATCHER_METRICS_ADDR
                      is the env equivalent, and the server lingers
                      ENTMATCHER_METRICS_LINGER_MS after the command.
+                     RSS is always exported; heap gauges appear when
+                     ENTMATCHER_MEM counting is on.
+    --mem-profile FILE
+                     Turn on the counting allocator and write a sampled
+                     allocation profile as collapsed stacks (span-stack
+                     names weighted by estimated bytes) to FILE —
+                     flamegraph.pl / speedscope render it directly.
+                     ENTMATCHER_MEM_SAMPLE sets the sampling rate
+                     (sample every Nth allocation, default 61).
   Alternatively set ENTMATCHER_TRACE=FILE to record the whole process and
   dump the trace at exit, or ENTMATCHER_TRACE=1 to record without dumping.
   Unset (or 0), telemetry is off and costs one atomic load per site.
+  ENTMATCHER_MEM=1 enables measured memory observability: every span in
+  a trace gains heap_allocated / heap_live_peak bytes from the counting
+  allocator, `match` reports its measured peak next to the modeled one,
+  and /metrics exports live heap gauges. Off (the default), the
+  allocator counts nothing and writes no counters at all.
 ";

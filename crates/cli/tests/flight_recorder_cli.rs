@@ -133,6 +133,16 @@ fn metrics_flag_serves_scrapable_prometheus_endpoint() {
         "missing csls counter: {body}"
     );
     assert!(body.contains("entmatcher_span_seconds_total{span=\"pipeline\"}"));
+    // RSS is a process gauge: exported even without ENTMATCHER_MEM.
+    assert!(
+        body.contains("entmatcher_rss_bytes"),
+        "missing RSS gauge: {body}"
+    );
+    // Counting is off in this run, so the heap gauges must be absent.
+    assert!(
+        !body.contains("entmatcher_heap_live_bytes"),
+        "heap gauges must require ENTMATCHER_MEM: {body}"
+    );
     let health = http_get(&addr, "/healthz");
     assert!(health.starts_with("HTTP/1.1 200 OK"));
     assert!(health.ends_with("ok\n"));
@@ -215,6 +225,148 @@ fn profile_flag_writes_collapsed_stacks() {
     assert!(
         text.lines().any(|l| l.starts_with("pipeline")),
         "no pipeline stacks sampled:\n{text}"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// `ENTMATCHER_MEM=1`: the match report prints the measured peak, the
+/// exported trace's spans carry measured heap fields, the `mem.*`
+/// counters land in the trace, and `/metrics` exports the heap gauges
+/// alongside RSS — the full measured-memory surface in one child run.
+#[test]
+fn mem_env_measures_heap_across_trace_report_and_metrics() {
+    let (root, data, emb) = setup("mem");
+    let pairs = root.join("pairs.tsv");
+    let trace_file = root.join("trace.json");
+    let mut child = Command::new(BIN)
+        .args(match_args(&data, &emb, &pairs))
+        .args(["--trace", trace_file.to_str().unwrap()])
+        .args(["--metrics", "127.0.0.1:0"])
+        .env("ENTMATCHER_MEM", "1")
+        .env("ENTMATCHER_METRICS_LINGER_MS", "4000")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn entmatcher");
+
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut addr = None;
+    let mut line = String::new();
+    while stderr.read_line(&mut line).unwrap() > 0 {
+        if let Some(rest) = line.trim().strip_prefix("metrics: serving http://") {
+            addr = Some(rest.trim_end_matches("/metrics").to_string());
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.expect("metrics address line on stderr");
+
+    // Poll until the publisher renders a snapshot with the heap gauges.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut body;
+    loop {
+        body = http_get(&addr, "/metrics");
+        if body.contains("entmatcher_heap_live_bytes") || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        body.contains("entmatcher_heap_live_bytes"),
+        "heap gauge missing with ENTMATCHER_MEM=1: {body}"
+    );
+    assert!(body.contains("entmatcher_heap_peak_bytes"));
+    assert!(body.contains("entmatcher_alloc_total"));
+    assert!(
+        body.contains("entmatcher_rss_bytes"),
+        "RSS gauge missing: {body}"
+    );
+
+    let mut stdout = String::new();
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    let status = child.wait().expect("child exits after linger");
+    assert!(status.success(), "ENTMATCHER_MEM run failed");
+    assert!(
+        stdout.contains("measured peak"),
+        "match report must print the measured peak: {stdout}"
+    );
+
+    // The exported trace carries per-span measured heap fields plus the
+    // folded-in process counters.
+    let text = std::fs::read_to_string(&trace_file).unwrap();
+    let trace: entmatcher_support::telemetry::Trace =
+        entmatcher_support::json::from_str(&text).unwrap();
+    let pipeline = trace.span("pipeline").expect("pipeline span");
+    assert!(
+        pipeline.heap_live_peak > 0,
+        "pipeline span must measure a heap peak"
+    );
+    let sim = trace.span("similarity").expect("similarity span");
+    assert!(
+        sim.heap_allocated > 0,
+        "similarity span must be charged for the score matrix"
+    );
+    assert!(
+        pipeline.heap_live_peak >= sim.heap_live_peak.min(pipeline.heap_live_peak),
+        "inclusive attribution"
+    );
+    assert!(trace.counter("mem.heap_peak_bytes").unwrap_or(0) > 0);
+    assert!(trace.counter("mem.alloc_total").unwrap_or(0) > 0);
+
+    // The rendered tree surfaces the measured columns.
+    let rendered = entmatcher_cli::run(&[
+        "trace".to_string(),
+        "--file".to_string(),
+        trace_file.to_str().unwrap().to_string(),
+    ])
+    .unwrap();
+    assert!(
+        rendered.contains("heap peak"),
+        "trace render must show measured heap: {rendered}"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// `--mem-profile FILE` writes a non-empty folded allocation profile whose
+/// stacks are span-stack names with positive byte weights.
+#[test]
+fn mem_profile_flag_writes_folded_allocation_stacks() {
+    let (root, data, emb) = setup("memprofile");
+    let pairs = root.join("pairs.tsv");
+    let folded = root.join("alloc.folded");
+    let output = Command::new(BIN)
+        .args(match_args(&data, &emb, &pairs))
+        .args(["--mem-profile", folded.to_str().unwrap()])
+        // Sample every allocation so even a tiny run is deterministic.
+        .env("ENTMATCHER_MEM_SAMPLE", "1")
+        .output()
+        .expect("spawn entmatcher");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        report.contains("memory profile written to"),
+        "report: {report}"
+    );
+
+    let text = std::fs::read_to_string(&folded).expect("folded profile written");
+    assert!(!text.trim().is_empty(), "folded profile must not be empty");
+    for line in text.lines() {
+        let (stack, bytes) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!stack.is_empty());
+        assert!(bytes.parse::<u64>().unwrap() > 0, "bad weight in {line:?}");
+    }
+    assert!(
+        text.lines().any(|l| l.starts_with("pipeline")),
+        "no pipeline allocation stacks:\n{text}"
     );
     std::fs::remove_dir_all(&root).unwrap();
 }

@@ -91,6 +91,12 @@ pub struct ExecutionReport {
     /// Estimated peak auxiliary heap bytes (score matrix + per-stage
     /// overhead), the basis of the Figure 5 memory comparison.
     pub peak_aux_bytes: usize,
+    /// *Measured* peak live heap bytes over the whole pipeline span, from
+    /// the counting allocator. 0 unless `ENTMATCHER_MEM` counting is on
+    /// (and the running binary installs
+    /// `entmatcher_support::alloc::CountingAlloc`); when present it is the
+    /// ground truth the modeled `peak_aux_bytes` is validated against.
+    pub measured_heap_peak_bytes: u64,
 }
 
 /// Estimates a quantile of the score distribution from a deterministic
@@ -238,6 +244,9 @@ impl MatchPipeline {
         let match_time = match_span.finish();
 
         let peak_aux_bytes = sim_bytes + opt_bytes + matcher_bytes + pad_bytes;
+        // Read the measured peak before `finish()` consumes the guard; the
+        // span record keeps the same value for exported traces.
+        let measured_heap_peak_bytes = total_span.heap_live_peak();
         ExecutionReport {
             matching,
             elapsed: total_span.finish(),
@@ -245,6 +254,7 @@ impl MatchPipeline {
             optimize_time,
             match_time,
             peak_aux_bytes,
+            measured_heap_peak_bytes,
         }
     }
 }

@@ -1,0 +1,299 @@
+//! Model-vs-measured memory cross-check: every pipeline stage's modeled
+//! `aux_bytes` estimate is validated against the counting allocator's
+//! *measured* peak live heap (`entmatcher_support::alloc`).
+//!
+//! The envelopes are deliberately loose (small-n runs carry allocator
+//! headers, `Vec` growth slack, and per-call bookkeeping the models
+//! ignore) but directional claims are pinned hard: in-place stages must
+//! measure far below the matrix they operate on, streaming stages must
+//! measure linear in `n` rather than quadratic, and the full-RInf
+//! transposed copies must actually show up on the heap.
+//!
+//! Every measurement forces `ENTMATCHER_THREADS=1` (set before the global
+//! pool is first touched, so it is built at width 1 and the serial fast
+//! path keeps all stage allocations on the measuring thread) and
+//! serializes on one lock — the counting switch is process-global.
+
+use entmatcher_core::matching::greedy::Greedy;
+use entmatcher_core::matching::MatchContext;
+use entmatcher_core::pipeline::MatchPipeline;
+use entmatcher_core::score::csls::Csls;
+use entmatcher_core::score::rinf::RInf;
+use entmatcher_core::score::sinkhorn::Sinkhorn;
+use entmatcher_core::score::ScoreOptimizer;
+use entmatcher_core::similarity::SimilarityMetric;
+use entmatcher_core::streaming::{streaming_aux_bytes, streaming_csls};
+use entmatcher_core::IvfIndex;
+use entmatcher_core::IvfParams;
+use entmatcher_linalg::{matmul_blocked, Matrix};
+use entmatcher_support::alloc::{self, CountingAlloc};
+use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
+use std::hint::black_box;
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Loose additive slack every envelope carries: allocator headers, `Vec`
+/// doubling, telemetry bookkeeping.
+const SLACK: u64 = 256 << 10;
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    // Before any stage can touch the global pool: width 1 keeps every
+    // stage allocation on this thread, where the measuring scope is open.
+    std::env::set_var("ENTMATCHER_THREADS", "1");
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Measured peak live heap of `f`, in bytes.
+fn measured<T>(name: &str, f: impl FnOnce() -> T) -> u64 {
+    alloc::set_enabled(true);
+    let (out, peak) = alloc::measure_peak(name, f);
+    alloc::set_enabled(false);
+    black_box(out);
+    peak
+}
+
+fn random_embeddings(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, d, |_, _| rng.gen::<f32>() - 0.5)
+}
+
+/// Blocked GEMM: measured peak covers the result matrix plus packing
+/// buffers, and nothing quadratically worse.
+#[test]
+fn gemm_measured_peak_within_envelope() {
+    let _lock = locked();
+    let a = random_embeddings(256, 64, 1);
+    let b = random_embeddings(320, 64, 2);
+    let out_bytes = (a.rows() * b.rows() * 4) as u64;
+    let peak = measured("mem.gemm", || matmul_blocked(&a, &b).unwrap());
+    assert!(
+        peak >= out_bytes,
+        "the result matrix alone is {out_bytes} B; measured only {peak}"
+    );
+    // Result + packed strips of both operands, generously doubled.
+    let model = out_bytes + 2 * ((a.rows() + b.rows()) * a.cols() * 4) as u64;
+    assert!(
+        peak <= 2 * model + SLACK,
+        "measured {peak} B blows the modeled GEMM envelope {model} B"
+    );
+}
+
+/// Sinkhorn runs in place: its measured auxiliary peak is the column-sum
+/// vectors, orders of magnitude below the matrix it normalizes.
+#[test]
+fn sinkhorn_measured_aux_is_in_place() {
+    let _lock = locked();
+    let n = 400usize;
+    let scores = random_embeddings(n, n, 3);
+    let matrix_bytes = (n * n * 4) as u64;
+    let opt = Sinkhorn::default();
+    let model = opt.aux_bytes(n, n) as u64;
+    // The score matrix is allocated *before* the scope opens, so the scope
+    // sees only the stage's true auxiliary allocations.
+    let peak = measured("mem.sinkhorn", || opt.apply(scores));
+    assert!(peak > 0, "the column-sum vector must be visible");
+    assert!(
+        peak <= 8 * model + 128 << 10,
+        "Sinkhorn modeled {model} B aux; measured {peak} B"
+    );
+    assert!(
+        peak < matrix_bytes / 4,
+        "in-place Sinkhorn measured {peak} B against a {matrix_bytes} B matrix"
+    );
+}
+
+/// Full RInf materializes transposed/rank copies (~4 extra cells); the
+/// without-ranking variant allocates only the output cell plus O(n) max
+/// vectors. The counting allocator must see exactly that asymmetry.
+#[test]
+fn rinf_variants_measured_against_their_models() {
+    let _lock = locked();
+    let n = 300usize;
+    let cell = (n * n * 4) as u64;
+    let run = |opt: RInf, tag: &str| {
+        let scores = random_embeddings(n, n, 4);
+        measured(tag, || opt.apply(scores))
+    };
+    let full = run(RInf::default(), "mem.rinf");
+    let wr = run(RInf::without_ranking(), "mem.rinf_wr");
+    // wr: one output cell + O(n) vectors (model says (n_s+n_t)*4 aux).
+    let wr_model = cell + RInf::without_ranking().aux_bytes(n, n) as u64;
+    assert!(wr >= cell, "RInf-wr must allocate its output: {wr} B");
+    assert!(
+        wr <= 2 * wr_model + SLACK,
+        "RInf-wr modeled {wr_model} B; measured {wr} B"
+    );
+    // Full RInf: output + >= 2 simultaneously-live extra cells on top.
+    assert!(
+        full >= 3 * cell,
+        "full RInf's rank copies must be measurable: {full} B vs cell {cell} B"
+    );
+    assert!(
+        wr * 2 < full,
+        "RInf-wr ({wr} B) must measure well below full RInf ({full} B)"
+    );
+}
+
+/// Streaming CSLS measured peak tracks `streaming_aux_bytes` and — the
+/// scalability claim — grows linearly in `n`, not quadratically.
+#[test]
+fn streaming_csls_measured_linear_in_n() {
+    let _lock = locked();
+    let (d, k, block) = (32usize, 5usize, 128usize);
+    let run = |n: usize, seed: u64| {
+        let s = random_embeddings(n, d, seed);
+        let t = random_embeddings(n, d, seed + 1);
+        // Distance metric: the strip-at-a-time path whose footprint
+        // streaming_aux_bytes models directly.
+        measured("mem.csls_stream", || {
+            streaming_csls(&s, &t, SimilarityMetric::Euclidean, k, block)
+        })
+    };
+    let p1 = run(256, 5);
+    let p2 = run(512, 7);
+    let model = streaming_aux_bytes(512, 512, k, block, d) as u64;
+    assert!(
+        p2 >= (block * 512 * 4) as u64,
+        "one similarity strip must be measurable: {p2} B"
+    );
+    assert!(
+        p2 <= 3 * model + SLACK,
+        "streaming CSLS modeled {model} B; measured {p2} B"
+    );
+    // Doubling n must not quadruple the peak: the strip, heaps, and
+    // per-source state are all linear (a dense pass would scale 4x).
+    assert!(
+        p2 < 3 * p1,
+        "peak must scale linearly: n=256 -> {p1} B, n=512 -> {p2} B"
+    );
+    let dense = (512u64 * 512 * 4) * 2; // corrected + raw matrices
+    assert!(
+        p2 < dense,
+        "streaming CSLS ({p2} B) must undercut the dense footprint ({dense} B)"
+    );
+}
+
+/// IVF train + probe: the index (packed posting lists + centroids) and
+/// the k-means scratch dominate training; probing stays far below any
+/// dense score matrix.
+#[test]
+fn ivf_train_and_probe_within_envelope() {
+    let _lock = locked();
+    let (n, d) = (2000usize, 32usize);
+    let t = random_embeddings(n, d, 8);
+    let params = IvfParams {
+        nlist: 32,
+        nprobe: 8,
+        train_iters: 4,
+        seed: 9,
+    };
+    alloc::set_enabled(true);
+    let (index, build_peak) =
+        alloc::measure_peak("mem.ivf_train", || IvfIndex::build(&t, &params));
+    alloc::set_enabled(false);
+    // Packed members (~n*d*4 twice: select_rows copy + packed strips),
+    // k-means assignment scratch (n*nlist*4), ids and centroid copies.
+    let build_model =
+        (2 * n * d * 4 + n * params.nlist * 4 + n * 8 + params.nlist * d * 8) as u64;
+    assert!(
+        build_peak >= (n * d * 4) as u64,
+        "packed posting lists must be measurable: {build_peak} B"
+    );
+    assert!(
+        build_peak <= 4 * build_model + SLACK,
+        "IVF build modeled {build_model} B; measured {build_peak} B"
+    );
+
+    let queries = random_embeddings(500, d, 10);
+    let probe_peak = measured("mem.ivf_probe", || {
+        black_box(index.search(&queries, 10, params.nprobe))
+    });
+    let dense = (queries.rows() * n * 4) as u64;
+    assert!(probe_peak > 0);
+    assert!(
+        probe_peak < dense / 4,
+        "probing ({probe_peak} B) must stay far below a dense score pass ({dense} B)"
+    );
+    assert!(
+        probe_peak < build_peak,
+        "probe ({probe_peak} B) must be cheaper than training ({build_peak} B)"
+    );
+}
+
+/// End-to-end: `ExecutionReport::measured_heap_peak_bytes` is populated
+/// from the pipeline span, covers the score matrix, sits inside the
+/// modeled `peak_aux_bytes` envelope, and agrees with the exported trace.
+#[test]
+fn pipeline_report_measures_heap_within_modeled_envelope() {
+    use entmatcher_data::{clustered_embeddings, EmbeddingSpec};
+    use entmatcher_support::telemetry;
+
+    let _lock = locked();
+    let pair = clustered_embeddings(&EmbeddingSpec {
+        entities: 300,
+        dim: 32,
+        clusters: 12,
+        spread: 0.25,
+        noise: 0.05,
+        seed: 11,
+    });
+    let p = MatchPipeline::new(
+        SimilarityMetric::Cosine,
+        Box::new(Csls::default()),
+        Box::new(Greedy),
+    );
+
+    // Counting off: the measured field must stay zero.
+    alloc::set_enabled(false);
+    let cold = p.execute(&pair.source, &pair.target, &MatchContext::default());
+    assert_eq!(cold.measured_heap_peak_bytes, 0);
+
+    telemetry::reset();
+    telemetry::set_enabled(true);
+    alloc::set_enabled(true);
+    let r = p.execute(&pair.source, &pair.target, &MatchContext::default());
+    alloc::set_enabled(false);
+    telemetry::set_enabled(false);
+    let trace = telemetry::snapshot();
+    telemetry::reset();
+
+    let sim_bytes = (pair.source.rows() * pair.target.rows() * 4) as u64;
+    let measured = r.measured_heap_peak_bytes;
+    assert!(
+        measured >= sim_bytes,
+        "the score matrix ({sim_bytes} B) is allocated inside the pipeline \
+         span; measured only {measured} B"
+    );
+    // Envelope: modeled peak + the normalized embedding copies the model
+    // excludes, with generous multiplicative slack for transients.
+    let copies = ((pair.source.rows() + pair.target.rows()) * pair.source.cols() * 4) as u64;
+    let envelope = 4 * (r.peak_aux_bytes as u64 + copies) + (1 << 20);
+    assert!(
+        measured <= envelope,
+        "measured {measured} B blows the modeled envelope {envelope} B \
+         (peak_aux_bytes {})",
+        r.peak_aux_bytes
+    );
+
+    // The trace tells the same story: the pipeline span's recorded peak is
+    // at least what the report captured (the report reads the scope just
+    // before the span closes), and the similarity stage saw the matrix.
+    let pipeline_span = trace
+        .spans_named("pipeline")
+        .find(|sp| sp.duration_ns == r.elapsed.as_nanos() as u64)
+        .expect("pipeline span recorded");
+    assert!(pipeline_span.heap_live_peak >= measured);
+    let sim_span = trace
+        .spans_named("similarity")
+        .find(|sp| sp.parent == Some(pipeline_span.id))
+        .expect("similarity span under pipeline");
+    assert!(
+        sim_span.heap_allocated >= sim_bytes,
+        "similarity span must be charged for the score matrix: {} B",
+        sim_span.heap_allocated
+    );
+}

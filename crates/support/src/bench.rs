@@ -12,8 +12,35 @@
 //!   once — benches stay compiled and exercised without burning minutes.
 //! - A positional CLI argument filters benchmarks by substring, matching
 //!   `cargo bench -- <filter>` usage.
+//!
+//! When the counting allocator is enabled ([`crate::alloc::enabled`],
+//! i.e. `ENTMATCHER_MEM=1` under a binary that installs
+//! [`crate::alloc::CountingAlloc`]), every benchmark additionally runs
+//! its body once under a heap scope and reports the measured
+//! **per-iteration peak heap** — both in the printed line and in the
+//! returned [`BenchStats`], so JSON-emitting bench binaries gain a memory
+//! column for free. The extra run happens *outside* the timed samples, so
+//! timings are never perturbed by the measurement pass.
 
 use std::time::{Duration, Instant};
+
+/// Measurements [`Group::bench`] returns for one benchmark: wall-clock
+/// stats plus the measured per-iteration peak heap (0 when the benchmark
+/// was filtered out or the counting allocator is off).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BenchStats {
+    /// Median seconds per iteration (0 in quick mode).
+    pub median_secs: f64,
+    /// Fastest sample, seconds per iteration (0 in quick mode).
+    pub min_secs: f64,
+    /// Slowest sample, seconds per iteration (0 in quick mode).
+    pub max_secs: f64,
+    /// Iterations per timed sample (1 in quick mode).
+    pub iters: u64,
+    /// Measured peak live heap of one body run, in bytes (0 when
+    /// counting is off).
+    pub heap_peak_bytes: u64,
+}
 
 /// Prevents the optimizer from deleting a benchmarked computation.
 /// Re-exported name parity with `criterion::black_box`.
@@ -90,17 +117,30 @@ impl Group<'_> {
     }
 
     /// Registers and (unless filtered out) immediately runs one benchmark.
-    pub fn bench<T>(&mut self, id: impl AsRef<str>, mut body: impl FnMut() -> T) {
+    /// Returns wall-clock stats plus the measured per-iteration peak heap
+    /// when the counting allocator is on (see the module docs).
+    pub fn bench<T>(&mut self, id: impl AsRef<str>, mut body: impl FnMut() -> T) -> BenchStats {
         let full = format!("{}/{}", self.name, id.as_ref());
         if let Some(f) = &self.bench.filter {
             if !full.contains(f.as_str()) {
-                return;
+                return BenchStats::default();
             }
         }
         if self.bench.quick {
-            black_box(body());
+            // Quick mode must execute the body exactly once; when counting
+            // is on that single run doubles as the memory pass.
+            let heap_peak_bytes = if crate::alloc::enabled() {
+                crate::alloc::measure_peak(&full, || black_box(body())).1
+            } else {
+                black_box(body());
+                0
+            };
             println!("bench {full} ... ok (quick)");
-            return;
+            return BenchStats {
+                iters: 1,
+                heap_peak_bytes,
+                ..BenchStats::default()
+            };
         }
 
         // Warm up and estimate iterations per sample so each sample lasts
@@ -127,7 +167,15 @@ impl Group<'_> {
         let min = samples[0];
         let max = samples[samples.len() - 1];
         let median = samples[samples.len() / 2];
-        println!(
+        // The memory pass runs after the timed samples, so the scope's
+        // bookkeeping never lands inside a measured interval; skipped
+        // entirely (no extra run) when counting is off.
+        let heap_peak_bytes = if crate::alloc::enabled() {
+            crate::alloc::measure_peak(&full, || black_box(body())).1
+        } else {
+            0
+        };
+        print!(
             "bench {full:<48} [{} {} {}]  ({} samples x {} iters)",
             fmt_time(min),
             fmt_time(median),
@@ -135,6 +183,17 @@ impl Group<'_> {
             self.sample_size,
             iters
         );
+        if heap_peak_bytes > 0 {
+            print!("  heap peak {:.1} MB", heap_peak_bytes as f64 / 1e6);
+        }
+        println!();
+        BenchStats {
+            median_secs: median,
+            min_secs: min,
+            max_secs: max,
+            iters,
+            heap_peak_bytes,
+        }
     }
 
     /// Criterion API parity; grouping needs no explicit teardown here.

@@ -14,6 +14,11 @@
 //!   input shrinking.
 //! - [`bench`] — a tiny wall-clock benchmark harness for `harness = false`
 //!   bench targets.
+//! - [`alloc`] — a counting `GlobalAlloc` wrapper ([`alloc::CountingAlloc`],
+//!   installed per binary) with per-scope heap attribution, RSS sampling,
+//!   and a sampled allocation-site profiler — the measured-memory ground
+//!   truth behind the telemetry spans' `heap_allocated`/`heap_live_peak`
+//!   fields (`ENTMATCHER_MEM`).
 //! - [`pool`] — a persistent, process-wide work-stealing worker pool
 //!   (sized by `ENTMATCHER_THREADS` / available parallelism) that the
 //!   row-parallel kernels run on, with panic propagation and telemetry
@@ -29,6 +34,7 @@
 //! The API shapes deliberately mirror the external crates they replace so
 //! that call sites migrate by swapping `use` lines, not rewriting bodies.
 
+pub mod alloc;
 pub mod bench;
 pub mod json;
 pub mod pool;

@@ -97,10 +97,11 @@ use std::time::{Duration, Instant};
 
 /// Wire-format version stamped into every exported trace document.
 ///
-/// v2 added `tid` to span records and `finite_count` to histograms; the
-/// parser accepts v1 documents by defaulting `tid` to 0 and
-/// `finite_count` to `count`.
-pub const TRACE_VERSION: u64 = 2;
+/// v2 added `tid` to span records and `finite_count` to histograms; v3
+/// added the measured `heap_allocated` / `heap_live_peak` span fields.
+/// The parser accepts older documents by defaulting `tid` to 0,
+/// `finite_count` to `count`, and the heap fields to 0.
+pub const TRACE_VERSION: u64 = 3;
 
 /// Histogram bucket index for samples that have no binary exponent
 /// (zero, negative, or NaN inputs).
@@ -227,6 +228,14 @@ impl Telemetry {
             stack.push((key, id));
             parent
         });
+        // When measured-memory counting is on, every recorded span also
+        // opens a heap-attribution scope on its thread, so the record
+        // gains measured `heap_allocated` / `heap_live_peak` fields.
+        let heap = if crate::alloc::enabled() {
+            Some(crate::alloc::HeapScope::open(&name))
+        } else {
+            None
+        };
         SpanGuard {
             telemetry: self,
             start,
@@ -237,6 +246,7 @@ impl Telemetry {
                 start_ns: self.epoch.elapsed().as_nanos() as u64,
                 bytes: 0,
                 tid,
+                heap,
             }),
         }
     }
@@ -340,6 +350,13 @@ impl Telemetry {
                 stack.remove(pos);
             }
         });
+        let (heap_allocated, heap_live_peak) = match open.heap {
+            Some(scope) => {
+                let s = scope.finish();
+                (s.allocated, s.live_peak)
+            }
+            None => (0, 0),
+        };
         let record = SpanRecord {
             id: open.id,
             parent: open.parent,
@@ -348,6 +365,8 @@ impl Telemetry {
             duration_ns: duration.as_nanos() as u64,
             bytes: open.bytes,
             tid: open.tid,
+            heap_allocated,
+            heap_live_peak,
         };
         let mut state = self.state.lock().expect("telemetry lock poisoned");
         // Retire the span from the sampler's open-stack view (it may
@@ -383,6 +402,7 @@ struct OpenSpan {
     start_ns: u64,
     bytes: u64,
     tid: u64,
+    heap: Option<crate::alloc::HeapScope>,
 }
 
 /// RAII guard for an open span: records the span on drop (or via
@@ -404,6 +424,25 @@ impl SpanGuard<'_> {
     /// The span id, when recording (stable within one registry).
     pub fn id(&self) -> Option<u64> {
         self.open.as_ref().map(|o| o.id)
+    }
+
+    /// Measured bytes the opening thread has allocated under this span so
+    /// far. 0 when the span is inert or `ENTMATCHER_MEM` counting was off
+    /// at open time.
+    pub fn heap_allocated(&self) -> u64 {
+        self.open
+            .as_ref()
+            .and_then(|o| o.heap.as_ref())
+            .map_or(0, |h| h.allocated())
+    }
+
+    /// Measured peak live heap bytes under this span so far (see
+    /// [`crate::alloc::HeapScope`]). 0 when counting is off.
+    pub fn heap_live_peak(&self) -> u64 {
+        self.open
+            .as_ref()
+            .and_then(|o| o.heap.as_ref())
+            .map_or(0, |h| h.live_peak())
     }
 
     /// Wall time since the span opened, without closing it.
@@ -513,11 +552,20 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Wall time, in nanoseconds.
     pub duration_ns: u64,
-    /// Auxiliary heap bytes attributed to this span.
+    /// Auxiliary heap bytes attributed to this span by the *analytic
+    /// model* (callers' `add_bytes`).
     pub bytes: u64,
     /// Thread lane the span was opened on (see [`thread_lane`]); 0 in
     /// traces written before wire version 2.
     pub tid: u64,
+    /// *Measured* bytes the opening thread allocated while the span was
+    /// open (counting allocator, `ENTMATCHER_MEM`); 0 when counting was
+    /// off and in traces written before wire version 3.
+    pub heap_allocated: u64,
+    /// *Measured* peak live heap bytes under the span (allocated minus
+    /// freed while open, high-water mark); 0 when counting was off and in
+    /// traces written before wire version 3.
+    pub heap_live_peak: u64,
 }
 
 crate::impl_json_struct!(to_only SpanRecord {
@@ -528,9 +576,12 @@ crate::impl_json_struct!(to_only SpanRecord {
     duration_ns,
     bytes,
     tid,
+    heap_allocated,
+    heap_live_peak,
 });
 
-// Hand-written so v1 traces (no `tid`) still parse.
+// Hand-written so v1 traces (no `tid`) and v1/v2 traces (no measured heap
+// fields) still parse.
 impl crate::json::FromJson for SpanRecord {
     fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
         Ok(SpanRecord {
@@ -541,6 +592,8 @@ impl crate::json::FromJson for SpanRecord {
             duration_ns: v.field("duration_ns")?,
             bytes: v.field("bytes")?,
             tid: v.field::<Option<u64>>("tid")?.unwrap_or(0),
+            heap_allocated: v.field::<Option<u64>>("heap_allocated")?.unwrap_or(0),
+            heap_live_peak: v.field::<Option<u64>>("heap_live_peak")?.unwrap_or(0),
         })
     }
 }
@@ -767,6 +820,15 @@ impl Trace {
                 let _ = write!(out, "{:indent$}{}  {ms:.3}ms", "", s.name, indent = depth * 2);
                 if s.bytes > 0 {
                     let _ = write!(out, "  ({:.1} MB)", s.bytes as f64 / 1e6);
+                }
+                // Measured heap columns (wire v3, ENTMATCHER_MEM runs).
+                if s.heap_live_peak > 0 || s.heap_allocated > 0 {
+                    let _ = write!(
+                        out,
+                        "  [heap peak {:.1} MB, alloc {:.1} MB]",
+                        s.heap_live_peak as f64 / 1e6,
+                        s.heap_allocated as f64 / 1e6
+                    );
                 }
                 out.push('\n');
                 walk(trace, order, Some(s.id), depth + 1, out);
@@ -999,6 +1061,28 @@ mod tests {
         let h = trace.histogram("loss").unwrap();
         assert_eq!(h.finite_count, 4, "v1 histograms default finite_count to count");
         assert!((h.mean() - 2.0).abs() < 1e-12);
+        // v1 spans also lack the v3 measured-heap fields.
+        assert_eq!(trace.span("pipeline").unwrap().heap_allocated, 0);
+        assert_eq!(trace.span("pipeline").unwrap().heap_live_peak, 0);
+    }
+
+    #[test]
+    fn v2_trace_documents_still_parse() {
+        // A wire-version-2 document: spans carry `tid` but not the v3
+        // measured-heap fields.
+        let text = r#"{
+            "version": 2,
+            "spans": [{"id": 1, "parent": null, "name": "pipeline",
+                       "start_ns": 10, "duration_ns": 20, "bytes": 64, "tid": 3}],
+            "counters": [],
+            "histograms": []
+        }"#;
+        let trace: Trace = crate::json::from_str(text).unwrap();
+        let span = trace.span("pipeline").unwrap();
+        assert_eq!(span.tid, 3);
+        assert_eq!(span.bytes, 64);
+        assert_eq!(span.heap_allocated, 0);
+        assert_eq!(span.heap_live_peak, 0);
     }
 
     #[test]

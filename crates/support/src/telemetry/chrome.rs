@@ -5,9 +5,13 @@
 //! span becomes a **complete event** (`"ph": "X"`) with microsecond
 //! timestamps, placed on the lane of the thread that recorded it
 //! (`"tid"` = [`thread_lane`]). Span ids, parent links, and byte
-//! attribution travel in each event's `args`, and final counter values are
-//! attached as one `"ph": "C"` counter event per counter so they show up
-//! as Perfetto counter tracks.
+//! attribution (modeled `bytes` plus the measured `heap_allocated` /
+//! `heap_live_peak` fields of `ENTMATCHER_MEM` runs) travel in each
+//! event's `args`, and final counter values are attached as one
+//! `"ph": "C"` counter event per counter so they show up as Perfetto
+//! counter tracks. Spans carrying measured heap data additionally emit a
+//! `heap_live_peak_bytes` counter-track sample, so memory usage renders
+//! as a track over time.
 //!
 //! The CLI wires this up twice: `entmatcher trace --file T.json --chrome
 //! OUT.json` converts an already-exported trace document, and
@@ -81,6 +85,31 @@ pub fn to_chrome_json(trace: &Trace) -> Json {
         if span.bytes > 0 {
             args.insert("bytes", span.bytes);
         }
+        if span.heap_allocated > 0 {
+            args.insert("heap_allocated", span.heap_allocated);
+        }
+        if span.heap_live_peak > 0 {
+            args.insert("heap_live_peak", span.heap_live_peak);
+        }
+        e.insert("args", Json::Obj(args));
+        events.push(Json::Obj(e));
+    }
+
+    // Measured-memory counter track (ENTMATCHER_MEM runs): one sample per
+    // span carrying heap data, placed at the span's midpoint so Perfetto
+    // renders a step profile of per-span measured peaks over the run.
+    for span in &trace.spans {
+        if span.heap_live_peak == 0 {
+            continue;
+        }
+        let mut e = Map::new();
+        e.insert("name", "heap_live_peak_bytes");
+        e.insert("cat", "memory");
+        e.insert("ph", "C");
+        e.insert("ts", (span.start_ns as f64 + span.duration_ns as f64 / 2.0) / 1e3);
+        e.insert("pid", 1u64);
+        let mut args = Map::new();
+        args.insert("value", span.heap_live_peak);
         e.insert("args", Json::Obj(args));
         events.push(Json::Obj(e));
     }
@@ -165,5 +194,39 @@ mod tests {
         let counter = events.iter().find(|e| e["name"] == "rounds").unwrap();
         assert_eq!(counter["ph"], "C");
         assert_eq!(counter["args"]["value"].as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn measured_heap_spans_emit_memory_counter_track() {
+        use crate::telemetry::{SpanRecord, TRACE_VERSION};
+        let trace = Trace {
+            version: TRACE_VERSION,
+            spans: vec![SpanRecord {
+                id: 1,
+                parent: None,
+                name: "similarity".into(),
+                start_ns: 1_000,
+                duration_ns: 2_000,
+                bytes: 0,
+                tid: 1,
+                heap_allocated: 4096,
+                heap_live_peak: 2048,
+            }],
+            counters: vec![],
+            histograms: vec![],
+        };
+        let doc = to_chrome_json(&trace);
+        let events = doc["traceEvents"].as_array().unwrap();
+        let span = events.iter().find(|e| e["name"] == "similarity").unwrap();
+        assert_eq!(span["args"]["heap_allocated"].as_f64(), Some(4096.0));
+        assert_eq!(span["args"]["heap_live_peak"].as_f64(), Some(2048.0));
+        let track = events
+            .iter()
+            .find(|e| e["name"] == "heap_live_peak_bytes")
+            .expect("memory counter track");
+        assert_eq!(track["ph"], "C");
+        assert_eq!(track["args"]["value"].as_f64(), Some(2048.0));
+        // Midpoint of [1us, 3us] in microseconds.
+        assert_eq!(track["ts"].as_f64(), Some(2.0));
     }
 }

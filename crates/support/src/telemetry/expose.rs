@@ -20,9 +20,15 @@
 //!   registry's power-of-two bucket upper edges;
 //! - per-span-name aggregates `entmatcher_span_seconds_total`,
 //!   `entmatcher_span_calls_total`, and `entmatcher_span_bytes_total`
-//!   (completed spans only); and
+//!   (completed spans only);
 //! - an `entmatcher_up 1` gauge, so scrapers always see at least one
-//!   sample.
+//!   sample; and
+//! - process memory gauges ([`render_process_gauges`], sampled fresh at
+//!   each publish): `entmatcher_rss_bytes` whenever `/proc/self/statm`
+//!   exists (ENTMATCHER_MEM or not, so the serving path always has a
+//!   memory gauge), plus `entmatcher_heap_live_bytes`,
+//!   `entmatcher_heap_peak_bytes`, and `entmatcher_alloc_total` when the
+//!   counting allocator is enabled.
 //!
 //! The CLI starts a server when `--metrics ADDR` or
 //! `ENTMATCHER_METRICS_ADDR` is set, holding it open for the duration of
@@ -90,7 +96,15 @@ impl MetricsServer {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let page = Arc::new(Mutex::new(render_prometheus(&registry.snapshot())));
+        let render = |trace: &Trace| {
+            let mut text = render_prometheus(trace);
+            // Process memory gauges are sampled at publish time (they are
+            // live process state, not part of the trace snapshot, which
+            // keeps `render_prometheus` a pure function of its input).
+            text.push_str(&render_process_gauges());
+            text
+        };
+        let page = Arc::new(Mutex::new(render(&registry.snapshot())));
 
         let publisher = {
             let stop = Arc::clone(&stop);
@@ -98,7 +112,7 @@ impl MetricsServer {
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     sleep_poll(&stop, interval);
-                    let text = render_prometheus(&registry.snapshot());
+                    let text = render(&registry.snapshot());
                     *page.lock().expect("metrics page lock poisoned") = text;
                 }
             })
@@ -338,6 +352,33 @@ pub fn render_prometheus(trace: &Trace) -> String {
     out
 }
 
+/// Renders the process memory gauges appended after the registry-derived
+/// exposition: `entmatcher_rss_bytes` whenever procfs is available (on
+/// every platform that has it, regardless of `ENTMATCHER_MEM`), plus the
+/// counting-allocator gauges `entmatcher_heap_live_bytes`,
+/// `entmatcher_heap_peak_bytes`, and `entmatcher_alloc_total` when
+/// counting is enabled.
+pub fn render_process_gauges() -> String {
+    let mut out = String::new();
+    if let Some(rss) = crate::alloc::rss_bytes() {
+        out.push_str("# HELP entmatcher_rss_bytes Resident set size (/proc/self/statm).\n");
+        out.push_str("# TYPE entmatcher_rss_bytes gauge\n");
+        let _ = writeln!(out, "entmatcher_rss_bytes {rss}");
+    }
+    if crate::alloc::enabled() {
+        let stats = crate::alloc::stats();
+        out.push_str("# TYPE entmatcher_heap_live_bytes gauge\n");
+        let _ = writeln!(out, "entmatcher_heap_live_bytes {}", stats.live_bytes);
+        out.push_str("# TYPE entmatcher_heap_peak_bytes gauge\n");
+        let _ = writeln!(out, "entmatcher_heap_peak_bytes {}", stats.peak_bytes);
+        out.push_str("# TYPE entmatcher_alloc_total counter\n");
+        let _ = writeln!(out, "entmatcher_alloc_total {}", stats.allocs);
+        out.push_str("# TYPE entmatcher_alloc_bytes_total counter\n");
+        let _ = writeln!(out, "entmatcher_alloc_bytes_total {}", stats.total_bytes);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,5 +413,19 @@ mod tests {
         assert!(text.contains("entmatcher_dev_count 6"), "{text}");
         assert!(text.contains("entmatcher_span_calls_total{span=\"stage\"} 1"));
         assert!(text.contains("entmatcher_span_seconds_total{span=\"stage\"}"));
+    }
+
+    #[test]
+    fn process_gauges_always_include_rss_on_linux() {
+        let text = render_process_gauges();
+        if cfg!(target_os = "linux") {
+            assert!(
+                text.contains("entmatcher_rss_bytes "),
+                "RSS gauge must be present even with ENTMATCHER_MEM off: {text}"
+            );
+        }
+        // Heap gauges appear only when the counting allocator is on; the
+        // off-path guarantee is pinned in `tests/alloc_off.rs`, where no
+        // concurrent test can flip the switch mid-render.
     }
 }

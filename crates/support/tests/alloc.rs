@@ -1,0 +1,207 @@
+//! End-to-end tests of the counting allocator under a real
+//! `#[global_allocator]` installation: process counters, telemetry span
+//! attribution, attribution under the work-stealing pool, and the sampled
+//! allocation profiler.
+//!
+//! Every test that enables counting serializes on one lock — the enable
+//! switch and the process counters are global. Counter assertions are
+//! `>=` where other harness threads may allocate concurrently; exact-zero
+//! behavior with counting off is pinned in `alloc_off.rs`, a separate
+//! process where counting is never enabled.
+
+use entmatcher_support::alloc::{self, CountingAlloc, HeapScope};
+use entmatcher_support::pool::Pool;
+use entmatcher_support::telemetry::Telemetry;
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn process_counters_track_alloc_and_free() {
+    let _lock = locked();
+    alloc::set_enabled(true);
+    let before = alloc::stats();
+    let block = vec![0u8; 1 << 20];
+    let during = alloc::stats();
+    assert!(
+        during.total_bytes >= before.total_bytes + (1 << 20),
+        "total must grow by at least the block size"
+    );
+    assert!(during.allocs > before.allocs);
+    assert!(during.live_bytes >= (1 << 20));
+    assert!(during.peak_bytes >= during.live_bytes.min(1 << 20));
+    drop(block);
+    let after = alloc::stats();
+    assert!(after.frees > during.frees);
+    assert!(
+        after.live_bytes <= during.live_bytes,
+        "freeing the block must lower the live balance"
+    );
+    // Peak is a high-water mark: it never drops on free.
+    assert!(after.peak_bytes >= during.peak_bytes.min(1 << 20));
+    alloc::set_enabled(false);
+}
+
+#[test]
+fn telemetry_spans_gain_measured_heap_fields() {
+    let _lock = locked();
+    alloc::set_enabled(true);
+    let t = Telemetry::new();
+    t.set_enabled(true);
+    {
+        let outer = t.span("outer");
+        let held;
+        {
+            let inner = t.span("inner");
+            held = vec![0u8; 2 << 20];
+            std::hint::black_box(&held);
+            drop(inner);
+        }
+        // `held` is still live: inner's live peak and outer's both saw it.
+        drop(held);
+        drop(outer);
+    }
+    let trace = t.snapshot();
+    let inner = trace.span("inner").unwrap();
+    let outer = trace.span("outer").unwrap();
+    assert!(
+        inner.heap_allocated >= (2 << 20),
+        "inner span must see the allocation: {}",
+        inner.heap_allocated
+    );
+    assert!(inner.heap_live_peak >= (2 << 20));
+    // Attribution is inclusive: the enclosing span sees at least what the
+    // nested span saw.
+    assert!(outer.heap_allocated >= inner.heap_allocated);
+    assert!(outer.heap_live_peak >= (2 << 20));
+    alloc::set_enabled(false);
+}
+
+#[test]
+fn spans_without_counting_read_zero_heap() {
+    let _lock = locked();
+    alloc::set_enabled(false);
+    let t = Telemetry::new();
+    t.set_enabled(true);
+    {
+        let _s = t.span("stage");
+        std::hint::black_box(vec![0u8; 1 << 20]);
+    }
+    let span = t.snapshot().span("stage").cloned().unwrap();
+    assert_eq!(span.heap_allocated, 0);
+    assert_eq!(span.heap_live_peak, 0);
+}
+
+/// Allocations inside pool tasks are charged to the worker's own span
+/// lane (`pool.worker`), with the caller's share landing on the span open
+/// on the calling thread — together they account for all task allocations.
+#[test]
+fn pool_task_allocations_land_on_worker_span_lanes() {
+    let _lock = locked();
+    const TASKS: usize = 64;
+    const BYTES_PER_TASK: usize = 1 << 20;
+    alloc::set_enabled(true);
+    // `pool.worker` spans record into the *global* registry.
+    entmatcher_support::telemetry::reset();
+    entmatcher_support::telemetry::set_enabled(true);
+    let pool = Pool::new(4);
+    {
+        let _stage = entmatcher_support::telemetry::span("stage");
+        pool.run(TASKS, &|_| {
+            std::hint::black_box(vec![0u8; BYTES_PER_TASK]);
+            // Slow the tasks enough that the background workers are
+            // guaranteed to wake and claim some before the caller drains
+            // the whole job.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+    }
+    // `run` returns when every task has executed, but a worker may still
+    // be between its last pending-decrement and dropping its span; joining
+    // the workers (pool drop) closes every `pool.worker` span before the
+    // snapshot.
+    drop(pool);
+    entmatcher_support::telemetry::set_enabled(false);
+    let trace = entmatcher_support::telemetry::snapshot();
+    entmatcher_support::telemetry::reset();
+    alloc::set_enabled(false);
+
+    let worker_alloc: u64 = trace
+        .spans_named("pool.worker")
+        .map(|s| s.heap_allocated)
+        .sum();
+    let stage_alloc = trace.span("stage").map_or(0, |s| s.heap_allocated);
+    let expected = (TASKS * BYTES_PER_TASK) as u64;
+    assert!(
+        worker_alloc + stage_alloc >= expected,
+        "stage ({stage_alloc}) + workers ({worker_alloc}) must cover all task \
+         allocations ({expected})"
+    );
+    assert!(
+        worker_alloc > 0,
+        "with width 4 and 64 slow-to-claim tasks, at least one background \
+         worker must have executed (and been charged for) a task"
+    );
+}
+
+/// Global totals are thread-count-independent: the same job allocates the
+/// same bytes whether it runs serially or across 4 workers.
+#[test]
+fn totals_are_thread_count_independent() {
+    let _lock = locked();
+    const TASKS: usize = 100;
+    const BYTES_PER_TASK: usize = 64 << 10;
+    alloc::set_enabled(true);
+    let run = |width: usize| {
+        let pool = Pool::new(width);
+        let before = alloc::stats().total_bytes;
+        pool.run(TASKS, &|_| {
+            std::hint::black_box(vec![0u8; BYTES_PER_TASK]);
+        });
+        alloc::stats().total_bytes - before
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    alloc::set_enabled(false);
+    let expected = (TASKS * BYTES_PER_TASK) as u64;
+    assert!(serial >= expected && parallel >= expected);
+    // Identical up to incidental allocations (job bookkeeping, harness
+    // noise) — far below one task's worth either way.
+    let diff = serial.abs_diff(parallel);
+    assert!(
+        diff < expected / 10,
+        "serial delta {serial} and parallel delta {parallel} must agree \
+         (diff {diff}, expected {expected})"
+    );
+}
+
+#[test]
+fn sampled_profile_contains_scope_stacks() {
+    let _lock = locked();
+    alloc::set_enabled(true);
+    alloc::start_sampling(1); // sample every allocation: deterministic
+    {
+        let _scope = HeapScope::open("mem.stage");
+        for _ in 0..32 {
+            std::hint::black_box(vec![0u8; 4 << 10]);
+        }
+    }
+    let profile = alloc::stop_sampling();
+    alloc::set_enabled(false);
+    assert!(profile.total_samples() > 0);
+    let folded = profile.to_folded();
+    assert!(
+        folded.lines().any(|l| {
+            l.starts_with("mem.stage")
+                && l.split(' ').next_back().and_then(|w| w.parse::<u64>().ok())
+                    >= Some(32 * (4 << 10))
+        }),
+        "folded output must attribute the scope's bytes: {folded}"
+    );
+}

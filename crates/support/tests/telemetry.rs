@@ -41,7 +41,7 @@ fn golden_json_round_trip() {
     // Wire-shape guarantees consumers rely on: top-level version and the
     // three sections, span records keyed by stable field names.
     let json = trace.to_json();
-    assert_eq!(json.field::<u64>("version").unwrap(), 2);
+    assert_eq!(json.field::<u64>("version").unwrap(), 3);
     let spans = json.get("spans").and_then(|s| s.as_array()).expect("spans");
     for key in [
         "id",
@@ -51,6 +51,8 @@ fn golden_json_round_trip() {
         "duration_ns",
         "bytes",
         "tid",
+        "heap_allocated",
+        "heap_live_peak",
     ] {
         assert!(spans[0].get(key).is_some(), "span field {key} missing");
     }

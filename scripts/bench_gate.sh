@@ -16,6 +16,13 @@
 # qualifying speedup must stay within the tolerance of the committed
 # `BENCH_ann.json` baseline.
 #
+# Memory gate: the fresh memory bench's measured bytes/entity per
+# (stage, n) row must not exceed the committed `BENCH_memory.json`
+# baseline by more than the same tolerance — a breach means a stage
+# started materializing something new (e.g. a streaming path fell back
+# to a dense copy). Unlike throughput, the ceiling is one-sided: using
+# *less* memory never fails.
+#
 # This is deliberately a separate script from verify.sh: the full bench
 # takes minutes and wall-clock throughput is only meaningful on a quiet
 # machine, so the gate is for perf-sensitive changes (and dedicated perf
@@ -29,6 +36,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE="BENCH_kernels.json"
 ANN_BASELINE="BENCH_ann.json"
+MEM_BASELINE="BENCH_memory.json"
 TOLERANCE="${ENTMATCHER_BENCH_TOLERANCE_PCT:-20}"
 ANN_RECALL_FLOOR="${ENTMATCHER_ANN_RECALL_FLOOR:-0.95}"
 ANN_SPEEDUP_FLOOR="${ENTMATCHER_ANN_SPEEDUP_FLOOR:-5}"
@@ -39,6 +47,10 @@ ANN_SPEEDUP_FLOOR="${ENTMATCHER_ANN_SPEEDUP_FLOOR:-5}"
 }
 [ -f "$ANN_BASELINE" ] || {
     echo "bench_gate: baseline $ANN_BASELINE missing (run the ann bench and commit its output)" >&2
+    exit 1
+}
+[ -f "$MEM_BASELINE" ] || {
+    echo "bench_gate: baseline $MEM_BASELINE missing (run the memory bench and commit its output)" >&2
     exit 1
 }
 
@@ -77,9 +89,21 @@ best_qualifying_speedup() {
     ' "$1"
 }
 
+# "stage n bytes_per_entity" triples from a memory-bench JSON artifact.
+# Same line-based format: each entry's "stage" line precedes its "n"
+# line, which precedes its "bytes_per_entity" line.
+mem_rows() {
+    awk '
+        /"stage":/ { stage = $2; gsub(/[",]/, "", stage) }
+        /"n":/ { n = $2; gsub(/[",]/, "", n) }
+        /"bytes_per_entity":/ { printf "%s %s %.1f\n", stage, n, $2 + 0 }
+    ' "$1"
+}
+
 FRESH_OUT=$(mktemp)
 ANN_FRESH_OUT=$(mktemp)
-trap 'rm -f "$FRESH_OUT" "$ANN_FRESH_OUT"' EXIT
+MEM_FRESH_OUT=$(mktemp)
+trap 'rm -f "$FRESH_OUT" "$ANN_FRESH_OUT" "$MEM_FRESH_OUT"' EXIT
 
 # Full-size run: QUICK must be off or the timings are meaningless.
 echo "bench_gate: running kernels bench (full size, this takes a while)..."
@@ -140,4 +164,25 @@ awk -v fresh="$ANN_FRESH" -v base="$ANN_BASE" -v tol="$TOLERANCE" \
     }
     printf "bench_gate: ok: ann %.2fx at recall >= %s vs baseline %.2fx (floor %.2fx, tolerance %s%%)\n", fresh, rfloor, base, floor, tol
 }' || STATUS=1
+
+# Memory gate: measured bytes/entity per (stage, n), one-sided ceiling.
+echo "bench_gate: running memory bench (full size)..."
+ENTMATCHER_MEMORY_BENCH_OUT="$MEM_FRESH_OUT" \
+    cargo bench --offline -p entmatcher-bench --bench memory >/dev/null 2>&1
+
+mem_rows "$MEM_BASELINE" | while read -r STAGE N BASE; do
+    FRESH=$(mem_rows "$MEM_FRESH_OUT" | awk -v s="$STAGE" -v n="$N" \
+        '$1 == s && $2 == n { print $3; found = 1 } END { if (!found) exit 1 }') || {
+        echo "bench_gate: FAIL: no fresh memory row for stage=$STAGE n=$N" >&2
+        exit 1
+    }
+    awk -v s="$STAGE" -v n="$N" -v fresh="$FRESH" -v base="$BASE" -v tol="$TOLERANCE" 'BEGIN {
+        ceil = base * (1 + tol / 100)
+        if (fresh > ceil) {
+            printf "bench_gate: FAIL: %s n=%s uses %.0f B/entity, above the %.0f ceiling (baseline %.0f, tolerance %s%%)\n", s, n, fresh, ceil, base, tol
+            exit 1
+        }
+        printf "bench_gate: ok: %s n=%s %.0f B/entity vs baseline %.0f (ceiling %.0f, tolerance %s%%)\n", s, n, fresh, base, ceil, tol
+    }'
+done || STATUS=1
 exit "$STATUS"

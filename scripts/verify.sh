@@ -119,6 +119,19 @@ echo "$SCRAPE" | grep -q "entmatcher_pool_tasks_total" || {
     kill "$METRICS_PID" 2>/dev/null || true
     exit 1
 }
+# RSS is a process gauge, exported whether or not heap counting is on;
+# the heap gauges must NOT appear here (ENTMATCHER_MEM is unset, so the
+# counting allocator holds everything at zero).
+echo "$SCRAPE" | grep -q "entmatcher_rss_bytes" || {
+    echo "verify: /metrics missing RSS gauge" >&2
+    kill "$METRICS_PID" 2>/dev/null || true
+    exit 1
+}
+if echo "$SCRAPE" | grep -q "entmatcher_heap_live_bytes"; then
+    echo "verify: heap gauge exported with memory counting off" >&2
+    kill "$METRICS_PID" 2>/dev/null || true
+    exit 1
+fi
 curl -sf "http://$ADDR/healthz" | grep -q "ok" || {
     echo "verify: /healthz not answering" >&2
     kill "$METRICS_PID" 2>/dev/null || true
@@ -143,6 +156,95 @@ grep -q '"traceEvents"' "$SMOKE/chrome.json" || {
     exit 1
 }
 echo "verify: flight recorder smoke passed"
+
+# Memory observability test group, called out by name: per-span heap
+# attribution must hold whether allocations happen on pool workers or on
+# the serial fast path, and the measured-vs-modeled cross-check harness
+# is exactly the kind of claim that must not depend on thread count or
+# SIMD level.
+echo "verify: memory test group (defaults)"
+cargo test -q --offline -p entmatcher-support --lib alloc
+cargo test -q --offline -p entmatcher-support --test alloc
+cargo test -q --offline -p entmatcher-support --test alloc_off
+cargo test -q --offline -p entmatcher-core --test memory_model
+echo "verify: memory test group (ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off)"
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-support --lib alloc
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-support --test alloc
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-support --test alloc_off
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-core --test memory_model
+
+# Measured-memory smoke, in both execution configs: an ENTMATCHER_MEM=1
+# match must report its measured peak, put heap columns in the rendered
+# trace, write a non-empty allocation profile, and export heap gauges on
+# /metrics alongside RSS.
+for MODE in default degenerate; do
+    if [ "$MODE" = "degenerate" ]; then
+        MODE_ENV="ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off"
+    else
+        MODE_ENV=""
+    fi
+    REPORT=$(env $MODE_ENV ENTMATCHER_MEM=1 "$ENTMATCHER" match \
+        --data "$SMOKE/data" --embeddings "$SMOKE/emb" --algorithm csls \
+        --trace "$SMOKE/trace-mem-$MODE.json" \
+        --mem-profile "$SMOKE/mem-$MODE.folded" \
+        --out "$SMOKE/pairs-mem-$MODE.tsv")
+    echo "$REPORT" | grep -q "measured peak" || {
+        echo "verify: [$MODE] match report missing measured heap peak" >&2
+        exit 1
+    }
+    echo "$REPORT" | grep -q "memory profile written" || {
+        echo "verify: [$MODE] mem-profile note missing from report" >&2
+        exit 1
+    }
+    [ -s "$SMOKE/mem-$MODE.folded" ] || {
+        echo "verify: [$MODE] allocation profile empty or not written" >&2
+        exit 1
+    }
+    RENDERED_MEM=$("$ENTMATCHER" trace --file "$SMOKE/trace-mem-$MODE.json")
+    echo "$RENDERED_MEM" | grep -q "heap peak" || {
+        echo "verify: [$MODE] rendered trace missing heap columns" >&2
+        exit 1
+    }
+    env $MODE_ENV ENTMATCHER_MEM=1 ENTMATCHER_METRICS_LINGER_MS=15000 \
+        "$ENTMATCHER" match \
+        --data "$SMOKE/data" --embeddings "$SMOKE/emb" --algorithm csls \
+        --metrics 127.0.0.1:0 --out "$SMOKE/pairs-mem-metrics.tsv" \
+        >/dev/null 2>"$SMOKE/mem-metrics.err" &
+    MEM_METRICS_PID=$!
+    ADDR=""
+    for _ in $(seq 1 100); do
+        ADDR=$(sed -n 's#^metrics: serving http://\([^/]*\)/metrics$#\1#p' \
+            "$SMOKE/mem-metrics.err" 2>/dev/null || true)
+        [ -n "$ADDR" ] && break
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || {
+        echo "verify: [$MODE] mem metrics server never announced its address" >&2
+        kill "$MEM_METRICS_PID" 2>/dev/null || true
+        exit 1
+    }
+    MEM_SCRAPE=""
+    for _ in $(seq 1 100); do
+        MEM_SCRAPE=$(curl -sf "http://$ADDR/metrics" || true)
+        echo "$MEM_SCRAPE" | grep -q "entmatcher_heap_live_bytes" && break
+        sleep 0.1
+    done
+    for GAUGE in entmatcher_heap_live_bytes entmatcher_heap_peak_bytes \
+        entmatcher_rss_bytes; do
+        echo "$MEM_SCRAPE" | grep -q "$GAUGE" || {
+            echo "verify: [$MODE] /metrics missing $GAUGE with ENTMATCHER_MEM=1" >&2
+            kill "$MEM_METRICS_PID" 2>/dev/null || true
+            exit 1
+        }
+    done
+    kill "$MEM_METRICS_PID" 2>/dev/null || true
+    wait "$MEM_METRICS_PID" 2>/dev/null || true
+    echo "verify: memory smoke passed ($MODE)"
+done
 
 # Kernel-bench smoke: run the kernels benchmark at its smallest size and
 # check the JSON artifact self-check passes and a blocked-kernel entry is
@@ -186,3 +288,23 @@ grep -q '"recall_at_10"' "$ANN_OUT" || {
     exit 1
 }
 echo "verify: ann bench smoke passed"
+
+# Memory-bench smoke: quick-size per-stage peak-heap measurement; the
+# self-check validates every stage has a positive measured peak (the
+# bytes/entity ceiling is asserted by bench_gate.sh at full size).
+MEM_OUT="$SMOKE/BENCH_memory.json"
+MEM_LOG=$(ENTMATCHER_MEMORY_BENCH_OUT="$MEM_OUT" \
+    cargo bench --offline -p entmatcher-bench --bench memory 2>&1) || {
+    echo "verify: memory bench failed" >&2
+    echo "$MEM_LOG" >&2
+    exit 1
+}
+echo "$MEM_LOG" | grep -q "self-check ok" || {
+    echo "verify: memory bench self-check marker missing" >&2
+    exit 1
+}
+grep -q '"bytes_per_entity"' "$MEM_OUT" || {
+    echo "verify: no bytes_per_entity entry in $MEM_OUT" >&2
+    exit 1
+}
+echo "verify: memory bench smoke passed"
