@@ -7,7 +7,10 @@
 //! similarity hot path is tracked in-repo. The `blocked` rows use the
 //! runtime-dispatched micro-kernel (AVX2 where available); the
 //! `blocked_scalar` rows force the scalar reference kernel, so the pair is
-//! the in-repo simd-vs-scalar comparison. The `par_pool`/`par_spawn` rows
+//! the in-repo simd-vs-scalar comparison. The `blocked_f16` /
+//! `blocked_int8` rows run the dequantize-fused kernels (pack at the
+//! reduced precision + multiply, matching `blocked`'s repack-per-call
+//! semantics) — the quantized-storage throughput comparison. The `par_pool`/`par_spawn` rows
 //! run the same many-small-calls row sweep through the persistent
 //! work-stealing pool and through per-call `thread::scope` spawning — the
 //! dispatch-overhead comparison that motivated the pool. The JSON is
@@ -30,7 +33,8 @@
 
 use entmatcher_linalg::parallel::{self, par_row_chunks_mut};
 use entmatcher_linalg::{
-    fused_topk, matmul_blocked, matmul_blocked_with, matmul_naive, Matrix, SimdLevel,
+    fused_topk, matmul_blocked, matmul_blocked_packed, matmul_blocked_with, matmul_naive, Matrix,
+    Precision, QuantPackedB, SimdLevel,
 };
 use entmatcher_support::alloc::{self, CountingAlloc};
 use entmatcher_support::json::{self, Json, Map, ToJson};
@@ -153,6 +157,33 @@ fn bench_config(
             heap_peak_bytes,
         });
         eprintln!("kernels: blocked_scalar n={n} d={d}: {secs:.3}s ({:.2} GFLOP/s)", flops / secs / 1e9);
+        // Dequantize-fused kernels: pack-at-precision + multiply per rep,
+        // mirroring `blocked` (which also repacks B every call) so the
+        // GFLOP/s columns are directly comparable. The gate requires these
+        // to hold >= 0.6x the f32 blocked throughput.
+        for (kernel, precision) in [
+            ("blocked_f16", Precision::F16),
+            ("blocked_int8", Precision::Int8),
+        ] {
+            let (secs, reps, heap_peak_bytes) = measure(kernel, max_reps, || {
+                let packed = QuantPackedB::pack(&b, precision);
+                black_box(matmul_blocked_packed(&a, &packed).unwrap());
+            });
+            entries.push(Entry {
+                kernel,
+                m: n,
+                n,
+                d,
+                seconds: secs,
+                gflops: flops / secs / 1e9,
+                reps,
+                heap_peak_bytes,
+            });
+            eprintln!(
+                "kernels: {kernel} n={n} d={d}: {secs:.3}s ({:.2} GFLOP/s)",
+                flops / secs / 1e9
+            );
+        }
     }
     let (secs, reps, heap_peak_bytes) = measure("fused_topk", max_reps, || {
         black_box(fused_topk(&a, &b, fused_k).unwrap());
@@ -309,7 +340,15 @@ fn main() {
         .get("entries")
         .and_then(|e| e.as_array())
         .expect("entries array");
-    for kernel in ["naive", "blocked", "blocked_scalar", "par_pool", "par_spawn"] {
+    for kernel in [
+        "naive",
+        "blocked",
+        "blocked_scalar",
+        "blocked_f16",
+        "blocked_int8",
+        "par_pool",
+        "par_spawn",
+    ] {
         let found = entries_json.iter().any(|e| {
             e.get("kernel").and_then(|k| k.as_str()) == Some(kernel)
                 && e.get("gflops")

@@ -19,7 +19,12 @@
 //!                   cells, no transposed copies);
 //! * `csls_stream` — streaming CSLS over the fused cosine path (O(n)
 //!                   state, the sub-quadratic contrast to the above);
-//! * `ivf_train` / `ivf_probe` — IVF-flat index build and search.
+//! * `ivf_train` / `ivf_probe` — IVF-flat index build and search;
+//! * `pack_f32` / `pack_f16` / `pack_int8` — packed-operand footprint per
+//!   storage precision (the bytes/entity rows behind the quantization
+//!   claim: int8 must stay >= 3.5x smaller than f32, gated);
+//! * `stream_pack_int8` — out-of-core snapshot pack in 256-row chunks
+//!   (aux above the packed output is O(chunk), not O(n)).
 //!
 //! The `alloc_overhead_pct` field times the blocked GEMM with counting
 //! off vs on (best-of-reps); `--full` mode asserts it stays under 3%,
@@ -38,7 +43,9 @@ use entmatcher_core::score::ScoreOptimizer;
 use entmatcher_core::similarity::SimilarityMetric;
 use entmatcher_core::streaming::{streaming_aux_bytes, streaming_csls};
 use entmatcher_core::{IvfIndex, IvfParams};
-use entmatcher_linalg::{matmul_blocked, Matrix};
+use entmatcher_linalg::{
+    matmul_blocked, pack_snapshot_stream, snapshot, Matrix, PackedAny, Precision,
+};
 use entmatcher_support::alloc::{self, CountingAlloc};
 use entmatcher_support::json::{self, Json, Map, ToJson};
 use entmatcher_support::rng::{Rng, SeedableRng, StdRng};
@@ -170,6 +177,37 @@ fn bench_scale(entries: &mut Vec<Entry>, n: usize) {
     stage(entries, "ivf_probe", n, probe_model, || {
         black_box(index.search(&a, 10, index.default_nprobe()));
     });
+    drop(index);
+
+    // Packed-operand footprint per storage precision. The modeled bytes
+    // are the exact packed payload; the measured peak adds only the strip
+    // scratch, so bytes/entity tracks ~4d / ~2d / ~(d+4) directly.
+    let mut int8_packed_bytes = 0u64;
+    for (name, precision) in [
+        ("pack_f32", Precision::F32),
+        ("pack_f16", Precision::F16),
+        ("pack_int8", Precision::Int8),
+    ] {
+        let modeled = PackedAny::pack(&b, precision).packed_bytes() as u64;
+        if precision == Precision::Int8 {
+            int8_packed_bytes = modeled;
+        }
+        stage(entries, name, n, modeled, || {
+            black_box(PackedAny::pack(&b, precision));
+        });
+    }
+
+    // Out-of-core pack: the snapshot is streamed in fixed-size row chunks,
+    // so the peak is the packed output plus O(chunk) read/quantize scratch
+    // — never the full f32 matrix.
+    let chunk = 256usize;
+    let snap = std::env::temp_dir().join(format!("entmatcher_bench_snap_{n}.emtx"));
+    std::fs::write(&snap, snapshot::to_bytes(&b)).expect("write bench snapshot");
+    let stream_model = int8_packed_bytes + (chunk * DIM * 4) as u64;
+    stage(entries, "stream_pack_int8", n, stream_model, || {
+        black_box(pack_snapshot_stream(&snap, Precision::Int8, chunk).unwrap());
+    });
+    let _ = std::fs::remove_file(&snap);
 }
 
 /// Counting-allocator overhead on the blocked GEMM: best-of-`reps` time
@@ -274,6 +312,10 @@ fn main() {
         "csls_stream",
         "ivf_train",
         "ivf_probe",
+        "pack_f32",
+        "pack_f16",
+        "pack_int8",
+        "stream_pack_int8",
     ] {
         assert!(
             rows.iter().any(|e| {

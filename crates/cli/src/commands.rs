@@ -11,7 +11,7 @@ use entmatcher_eval::{evaluate_links, MatchTask};
 use entmatcher_graph::io::{load_pair_dir, save_pair_dir};
 use entmatcher_graph::metrics::degree_profile;
 use entmatcher_graph::{DatasetStats, KgPair, Link};
-use entmatcher_linalg::snapshot;
+use entmatcher_linalg::{snapshot, Precision};
 use entmatcher_support::{alloc, telemetry};
 use std::fmt;
 use std::io::Write as _;
@@ -320,11 +320,19 @@ fn cmd_encode(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
-fn load_embeddings(dir: &Path) -> Result<UnifiedEmbeddings, CliError> {
+/// Loads the embedding snapshots. `stream_chunk > 0` switches to the
+/// buffered chunk-at-a-time reader: the file is never resident as one
+/// byte blob, so transient auxiliary memory is O(chunk · d) instead of
+/// O(file) on top of the destination matrix.
+fn load_embeddings(dir: &Path, stream_chunk: usize) -> Result<UnifiedEmbeddings, CliError> {
     let read = |name: &str| -> Result<entmatcher_linalg::Matrix, CliError> {
-        let bytes = std::fs::read(dir.join(name))?;
-        snapshot::from_bytes(&bytes)
-            .map_err(|e| CliError::Failed(format!("{name}: {e}")))
+        if stream_chunk > 0 {
+            snapshot::read_file_chunked(&dir.join(name), stream_chunk)
+                .map_err(|e| CliError::Failed(format!("{name}: {e}")))
+        } else {
+            let bytes = std::fs::read(dir.join(name))?;
+            snapshot::from_bytes(&bytes).map_err(|e| CliError::Failed(format!("{name}: {e}")))
+        }
     };
     let emb = UnifiedEmbeddings {
         source: read("source.emb")?,
@@ -358,9 +366,24 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
     let emb_dir = Path::new(args.require("embeddings")?);
     let algorithm = algorithm_preset(args.require("algorithm")?)?;
     let out = Path::new(args.require("out")?);
-    // Validate the candidate strategy before any I/O: a typo'd flag should
-    // be a usage error, not a mid-run failure after loading the dataset.
+    // Validate the candidate strategy, precision, and stream-chunk before
+    // any I/O: a typo'd flag should be a usage error, not a mid-run
+    // failure after loading the dataset.
     let shortlist_k = args.get_u64("shortlist", 32)?.max(1) as usize;
+    let precision = match args.get("precision") {
+        None => Precision::F32,
+        Some(name) => Precision::parse(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown precision {name:?}: expected f32, f16 or int8"
+            ))
+        })?,
+    };
+    let stream_chunk = args.get_u64("stream-chunk", 0)? as usize;
+    if args.get("stream-chunk").is_some() && stream_chunk == 0 {
+        return Err(CliError::Usage(
+            "--stream-chunk must be a positive row count".to_owned(),
+        ));
+    }
     let strategy = match args.get("candidates").unwrap_or("exact") {
         "exact" => None,
         "lsh" => Some(CandidateStrategy::Lsh(LshBlocker::default())),
@@ -376,7 +399,7 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
         }
     };
     let pair = load_data(dir)?;
-    let emb = load_embeddings(emb_dir)?;
+    let emb = load_embeddings(emb_dir, stream_chunk)?;
     if emb.source.rows() != pair.source.num_entities() {
         return Err(CliError::Failed(format!(
             "embeddings cover {} source entities but the dataset has {}",
@@ -387,7 +410,7 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
     let task = MatchTask::from_pair(&pair);
     let (src, tgt) = task.candidate_embeddings(&emb);
     let ctx: MatchContext = task.context(&pair);
-    let mut pipeline = algorithm.build();
+    let mut pipeline = algorithm.build().with_precision(precision);
     if args.has_flag("dummies") {
         pipeline = pipeline.with_dummies(0.9);
     }
@@ -413,11 +436,14 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         String::new()
     };
+    let algo_label = match precision {
+        Precision::F32 => algorithm.name().to_string(),
+        p => format!("{}@{}", algorithm.name(), p.name()),
+    };
     Ok(format!(
-        "matched {} of {} candidates with {} in {:.2}s (~{:.1} MB aux{measured}) -> {}",
+        "matched {} of {} candidates with {algo_label} in {:.2}s (~{:.1} MB aux{measured}) -> {}",
         report.matching.matched_count(),
         task.num_sources(),
-        algorithm.name(),
         report.elapsed.as_secs_f64(),
         report.peak_aux_bytes as f64 / 1e6,
         out.display()
@@ -754,6 +780,144 @@ mod tests {
         assert!(trace.counter("ann.probed_lists").unwrap_or(0) > 0);
         assert!(trace.counter("ann.candidates").unwrap_or(0) > 0);
         assert!(trace.counter("pipeline.shortlist.candidates").unwrap_or(0) > 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn quantized_precisions_keep_f1_and_trace_pack_spans() {
+        let root = temp_dir("quant");
+        let data = root.join("data");
+        let emb = root.join("emb");
+        run(&[
+            "generate",
+            "--preset",
+            "S-W",
+            "--scale",
+            "0.02",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&[
+            "encode",
+            "--data",
+            data.to_str().unwrap(),
+            "--encoder",
+            "name",
+            "--out",
+            emb.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let eval_f1 = |pairs: &std::path::Path| -> f64 {
+            let out = run(&[
+                "eval",
+                "--data",
+                data.to_str().unwrap(),
+                "--pairs",
+                pairs.to_str().unwrap(),
+            ])
+            .unwrap();
+            out.lines()
+                .find(|l| l.starts_with("F1"))
+                .and_then(|l| l.split('=').nth(1))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        let match_at = |precision: &str, trace: Option<&std::path::Path>| -> f64 {
+            let pairs = root.join(format!("{precision}.tsv"));
+            let mut argv = vec![
+                "match".to_string(),
+                "--data".to_string(),
+                data.to_str().unwrap().to_string(),
+                "--embeddings".to_string(),
+                emb.to_str().unwrap().to_string(),
+                "--algorithm".to_string(),
+                "csls".to_string(),
+                "--precision".to_string(),
+                precision.to_string(),
+                "--stream-chunk".to_string(),
+                "64".to_string(),
+                "--out".to_string(),
+                pairs.to_str().unwrap().to_string(),
+            ];
+            if let Some(t) = trace {
+                argv.push("--trace".to_string());
+                argv.push(t.to_str().unwrap().to_string());
+            }
+            let report = crate::run(&argv).unwrap();
+            if precision != "f32" {
+                assert!(
+                    report.contains(&format!("CSLS@{precision}")),
+                    "report must carry the precision label: {report}"
+                );
+            }
+            eval_f1(&pairs)
+        };
+
+        let f32_f1 = match_at("f32", None);
+        let trace_file = root.join("int8-trace.json");
+        let int8_f1 = match_at("int8", Some(&trace_file));
+        let f16_f1 = match_at("f16", None);
+        assert!(
+            (f32_f1 - int8_f1).abs() <= 0.01,
+            "int8 F1 {int8_f1:.4} drifted more than 0.01 from f32 {f32_f1:.4}"
+        );
+        assert!(
+            (f32_f1 - f16_f1).abs() <= 0.01,
+            "f16 F1 {f16_f1:.4} drifted more than 0.01 from f32 {f32_f1:.4}"
+        );
+
+        // The int8 trace must carry the quantize-pack span under the
+        // similarity stage plus the byte counters.
+        let text = std::fs::read_to_string(&trace_file).unwrap();
+        let trace: telemetry::Trace = entmatcher_support::json::from_str(&text).unwrap();
+        let sim = trace.span("similarity").expect("similarity span");
+        assert!(
+            trace.children(sim.id).iter().any(|s| s.name == "quant.pack"),
+            "quant.pack span missing under similarity"
+        );
+        assert!(trace.counter("quant.packed_bytes").unwrap_or(0) > 0);
+        assert!(trace.counter("quant.rows").unwrap_or(0) > 0);
+        // --stream-chunk routed the snapshot loads through the chunked
+        // reader (two files, several chunks each).
+        assert!(trace.counter("snapshot.stream.chunks").unwrap_or(0) >= 2);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn bad_precision_and_stream_chunk_are_usage_errors() {
+        let root = temp_dir("badquant");
+        let base = [
+            "match",
+            "--data",
+            root.to_str().unwrap(),
+            "--embeddings",
+            root.to_str().unwrap(),
+            "--algorithm",
+            "csls",
+            "--out",
+        ];
+        let out = root.join("x.tsv");
+        let mut with_precision: Vec<&str> = base.to_vec();
+        let out_str = out.to_str().unwrap();
+        with_precision.push(out_str);
+        with_precision.extend(["--precision", "int4"]);
+        let err = run(&with_precision).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(m) if m.contains("precision")),
+            "unexpected error: {err}"
+        );
+        let mut with_chunk: Vec<&str> = base.to_vec();
+        with_chunk.push(out_str);
+        with_chunk.extend(["--stream-chunk", "0"]);
+        let err = run(&with_chunk).unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(m) if m.contains("stream-chunk")),
+            "unexpected error: {err}"
+        );
         std::fs::remove_dir_all(&root).unwrap();
     }
 

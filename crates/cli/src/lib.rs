@@ -50,12 +50,20 @@ commands:
   match     --data DIR --embeddings DIR
             --algorithm <dinf|csls|rinf|rinf-wr|rinf-pb|sinkhorn|hungarian|smat|rl>
             [--candidates <exact|lsh|ivf>] [--nlist N] [--nprobe N]
-            [--shortlist K] [--dummies] [--trace FILE] --out FILE
+            [--shortlist K] [--precision <f32|f16|int8>]
+            [--stream-chunk ROWS] [--dummies] [--trace FILE] --out FILE
             Match the test candidates; writes predicted pairs as TSV.
             --candidates selects the similarity stage: exact (dense, the
             default), lsh (bucket blocking) or ivf (ANN index; --nlist
             inverted lists, --nprobe probed per source, 0 = auto), each
             keeping the top --shortlist scores per source (cosine only).
+            --precision stores the cosine similarity stage's packed
+            target operand (and IVF posting lists) at a reduced width:
+            f16 halves it, int8 quarters it (per-row symmetric scales;
+            scores shift by at most scale/2 per element). f32 (default)
+            is bit-exact. --stream-chunk loads embedding snapshots
+            through the chunked reader, ROWS rows at a time, bounding
+            load-time auxiliary memory by the chunk instead of the file.
   eval      --data DIR --pairs FILE
             Score predicted pairs against the gold test links.
   trace     --file FILE [--chrome OUT.json]

@@ -2,22 +2,27 @@
 //!
 //! Every posting list stores its member rows twice: the original row ids
 //! (`Vec<u32>`) and the member embeddings re-packed into the blocked-GEMM
-//! strip layout ([`PackedB`]). Probing a list is therefore a call into the
-//! same fused similarity -> top-k kernel the exact path uses
-//! ([`entmatcher_linalg::fused_topk_packed`]) — the index only decides
-//! *which* strips get scanned, never *how* they are scanned, so scores are
-//! bit-identical to the dense pass for every candidate that is scanned at
-//! all.
+//! strip layout at the configured [`Precision`] ([`PackedAny`]: f32
+//! [`PackedB`] strips, or f16/int8 quantized strips). Probing a list is
+//! therefore a call into the same fused similarity -> top-k kernel the
+//! exact path uses ([`entmatcher_linalg::fused_topk_packed`]) — the index
+//! only decides *which* strips get scanned, never *how* they are scanned,
+//! so at f32 scores are bit-identical to the dense pass for every
+//! candidate that is scanned at all. Strip sizing (panel granularity and
+//! `ann.index.bytes`) follows the stored element width, not a hard-coded
+//! f32 width, so int8 postings really are ~4x smaller.
 //!
 //! Exactness at full probe width: each target row lives in exactly one
 //! list, so `nprobe == nlist` scans every row exactly once with the same
 //! kernel and merges per-list top-k results under the accumulator's total
 //! order (value desc, index asc). A per-list top-k followed by a merge
 //! retains exactly the global top-k under that order, ties included, so
-//! full-width search reproduces [`entmatcher_linalg::fused_topk`] bitwise
-//! — the property the oracle test suite pins.
+//! full-width search at [`Precision::F32`] reproduces
+//! [`entmatcher_linalg::fused_topk`] bitwise — the property the oracle
+//! test suite pins. Quantized postings keep the same structure but score
+//! candidates against the dequantized members.
 
-use entmatcher_linalg::{fused_topk_packed, Matrix, PackedB, TopKAccumulator};
+use entmatcher_linalg::{fused_topk_packed, Matrix, PackedAny, PackedB, Precision, TopKAccumulator};
 use entmatcher_support::telemetry;
 
 use super::kmeans;
@@ -36,6 +41,12 @@ pub struct IvfParams {
     pub train_iters: usize,
     /// PRNG seed for centroid init and empty-cluster reseeding.
     pub seed: u64,
+    /// Storage precision for posting-list member embeddings. The coarse
+    /// quantizer (centroids) always stays f32 so list *selection* is
+    /// unaffected; only the member strips are quantized, trading the exact
+    /// per-candidate dot product for the dequantize-fused one. `F32`
+    /// (default) preserves the bitwise-exact-at-full-probe-width property.
+    pub precision: Precision,
 }
 
 impl Default for IvfParams {
@@ -45,6 +56,7 @@ impl Default for IvfParams {
             nprobe: 0,
             train_iters: 6,
             seed: 97,
+            precision: Precision::F32,
         }
     }
 }
@@ -53,7 +65,7 @@ impl Default for IvfParams {
 /// packed into GEMM strips.
 struct PostingList {
     ids: Vec<u32>,
-    packed: PackedB,
+    packed: PackedAny,
 }
 
 /// An IVF-flat index over one side's embeddings. Scores are raw dot
@@ -97,7 +109,7 @@ impl IvfIndex {
                     .expect("assignment ids in range by construction");
                 PostingList {
                     ids,
-                    packed: PackedB::pack(&members),
+                    packed: PackedAny::pack(&members, params.precision),
                 }
             })
             .collect();
@@ -139,6 +151,14 @@ impl IvfIndex {
     /// The probe width used when callers don't pass one explicitly.
     pub fn default_nprobe(&self) -> usize {
         self.default_nprobe
+    }
+
+    /// Total heap bytes held by the posting-list member strips (the
+    /// quantity reported to the `ann.index.bytes` counter). Scales with
+    /// the element width of the build precision: int8 postings are ~1/4
+    /// the f32 size for the same members.
+    pub fn posting_bytes(&self) -> usize {
+        self.lists.iter().map(|l| l.packed.packed_bytes()).sum()
     }
 
     /// Top-`k` indexed rows per query row by dot product, probing the
@@ -290,6 +310,65 @@ mod tests {
         // k = 0 and zero queries.
         assert_eq!(index.search(&q, 0, 1), vec![Vec::new(); 3]);
         assert!(index.search(&Matrix::zeros(0, 8), 5, 1).is_empty());
+    }
+
+    #[test]
+    fn quantized_posting_lists_shrink_by_element_width() {
+        // Regression: posting-list strip sizing must follow the stored
+        // element width. With f32-width sizing an int8 index would report
+        // (and allocate) 4x the bytes it actually needs.
+        let (_, target) = pair(300, 12, 33);
+        let build = |precision| {
+            IvfIndex::build(
+                &target,
+                &IvfParams {
+                    nlist: 12,
+                    precision,
+                    ..IvfParams::default()
+                },
+            )
+        };
+        let f32_bytes = build(Precision::F32).posting_bytes();
+        let f16_bytes = build(Precision::F16).posting_bytes();
+        let i8_bytes = build(Precision::Int8).posting_bytes();
+        assert!(f32_bytes > 0);
+        // f16 payload is exactly half the f32 payload (identical strip
+        // counts, 2-byte elements, no side table).
+        assert_eq!(f16_bytes * 2, f32_bytes);
+        // int8 carries a 4-byte per-lane scale table, so "~1/4" has a
+        // small additive term; at d=16 it must still be well under 1/3
+        // and above the raw-payload floor of 1/4.
+        assert!(
+            i8_bytes * 3 < f32_bytes,
+            "int8 postings {i8_bytes}B not < 1/3 of f32 {f32_bytes}B"
+        );
+        assert!(i8_bytes * 4 >= f32_bytes);
+    }
+
+    #[test]
+    fn quantized_index_keeps_recall() {
+        // int8 postings perturb scores but not list membership (centroids
+        // stay f32), so identity matches on easy clustered data survive.
+        let (queries, target) = pair(300, 12, 21);
+        let index = IvfIndex::build(
+            &target,
+            &IvfParams {
+                nlist: 12,
+                precision: Precision::Int8,
+                ..IvfParams::default()
+            },
+        );
+        let approx = index.search(&queries, 10, index.nlist());
+        let exact = fused_topk(&queries, &target, 10).unwrap();
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for (a, e) in approx.iter().zip(&exact) {
+            let got: std::collections::HashSet<u32> = a.iter().map(|&(i, _)| i).collect();
+            total += e.len();
+            hit += e.iter().filter(|&&(i, _)| got.contains(&i)).count();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall > 0.95, "int8 full-probe recall@10 too low: {recall:.3}");
     }
 
     #[test]

@@ -17,7 +17,9 @@ use crate::dummy::pad_with_dummies;
 use crate::matching::{MatchContext, Matcher, Matching};
 use crate::score::ScoreOptimizer;
 use crate::similarity::{similarity_matrix, SimilarityMetric};
-use entmatcher_linalg::{normalize_rows_l2, Matrix};
+use entmatcher_linalg::{
+    matmul_blocked_packed, normalize_rows_l2, Matrix, PackedAny, Precision,
+};
 use entmatcher_support::telemetry;
 use std::time::Duration;
 
@@ -73,6 +75,15 @@ pub struct MatchPipeline {
     /// a source proposes to a dummy once all targets scoring above the
     /// quantile have rejected it.
     pub dummy_quantile: f64,
+    /// Storage precision for the target-side packed operand in the cosine
+    /// similarity pass. At `F32` (default) nothing changes. At `F16`/`Int8`
+    /// the exact-cosine pass packs the normalized target into quantized
+    /// GEMM strips and scores through the dequantize-fused micro-kernels,
+    /// and the IVF strategy stores its posting lists quantized — trading a
+    /// bounded score perturbation (f16 exact-widening; int8 ±scale/2 per
+    /// element) for 2x/4x smaller packed operands. Distance metrics and
+    /// LSH rescoring stay f32 (their kernels are not packed products).
+    pub precision: Precision,
 }
 
 /// Outcome of one pipeline execution.
@@ -135,6 +146,7 @@ impl MatchPipeline {
             shortlist_k: 32,
             pad_dummies: false,
             dummy_quantile: 0.9,
+            precision: Precision::F32,
         }
     }
 
@@ -144,6 +156,13 @@ impl MatchPipeline {
         assert!(shortlist_k >= 1, "shortlist must keep at least one candidate");
         self.candidates = strategy;
         self.shortlist_k = shortlist_k;
+        self
+    }
+
+    /// Selects the storage precision for packed similarity operands (see
+    /// the [`MatchPipeline::precision`] field).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -159,14 +178,19 @@ impl MatchPipeline {
         self
     }
 
-    /// Composite name, e.g. `"cosine+CSLS+Greedy"`.
+    /// Composite name, e.g. `"cosine+CSLS+Greedy"`; a non-f32 precision is
+    /// appended as `"@f16"` / `"@int8"`.
     pub fn describe(&self) -> String {
-        format!(
+        let base = format!(
             "{}+{}+{}",
             self.metric.name(),
             self.optimizer.name(),
             self.matcher.name()
-        )
+        );
+        match self.precision {
+            Precision::F32 => base,
+            p => format!("{base}@{}", p.name()),
+        }
     }
 
     /// The similarity-stage score matrix under the configured candidate
@@ -177,6 +201,21 @@ impl MatchPipeline {
     /// outrank a scored pair downstream.
     fn candidate_scores(&self, source: &Matrix, target: &Matrix) -> Matrix {
         let source_impl: Box<dyn CandidateSource> = match (&self.candidates, self.metric) {
+            (CandidateStrategy::Exact, SimilarityMetric::Cosine)
+                if self.precision != Precision::F32 =>
+            {
+                // Quantized dense cosine: pack the normalized target at the
+                // reduced precision and run the dequantize-fused GEMM. The
+                // packed operand (the O(n·d) term) shrinks by the element
+                // width; the O(n²) score matrix is unchanged.
+                let mut s = source.clone();
+                let mut t = target.clone();
+                normalize_rows_l2(&mut s);
+                normalize_rows_l2(&mut t);
+                let packed = PackedAny::pack(&t, self.precision);
+                return matmul_blocked_packed(&s, &packed)
+                    .expect("normalized copies share the embedding dimension");
+            }
             (CandidateStrategy::Exact, _) | (_, SimilarityMetric::Euclidean)
             | (_, SimilarityMetric::Manhattan) => {
                 return similarity_matrix(source, target, self.metric);
@@ -187,7 +226,14 @@ impl MatchPipeline {
                 })
             }
             (CandidateStrategy::Ivf(params), SimilarityMetric::Cosine) => {
-                Box::new(IvfCandidates { params: *params })
+                // The pipeline precision overrides an unset (f32) param so
+                // `--precision int8` reaches the posting lists without the
+                // caller having to thread it into IvfParams by hand.
+                let mut params = *params;
+                if self.precision != Precision::F32 {
+                    params.precision = self.precision;
+                }
+                Box::new(IvfCandidates { params })
             }
         };
         let mut s = source.clone();
@@ -500,6 +546,76 @@ mod tests {
                 "{name} strategy agrees with exact on only {agree}/150 sources"
             );
         }
+    }
+
+    #[test]
+    fn quantized_precisions_track_f32_decisions() {
+        use entmatcher_data::{clustered_embeddings, EmbeddingSpec};
+
+        let pair = clustered_embeddings(&EmbeddingSpec {
+            entities: 150,
+            dim: 16,
+            clusters: 10,
+            spread: 0.25,
+            noise: 0.05,
+            seed: 77,
+        });
+        let build = |precision| {
+            MatchPipeline::new(SimilarityMetric::Cosine, Box::new(NoOp), Box::new(Greedy))
+                .with_precision(precision)
+        };
+        let f32_run = build(Precision::F32)
+            .execute(&pair.source, &pair.target, &MatchContext::default());
+        for precision in [Precision::F16, Precision::Int8] {
+            let q = build(precision).execute(&pair.source, &pair.target, &MatchContext::default());
+            let agree = f32_run
+                .matching
+                .assignment()
+                .iter()
+                .zip(q.matching.assignment())
+                .filter(|(a, b)| a == b)
+                .count();
+            assert!(
+                agree >= 145,
+                "{} agrees with f32 on only {agree}/150 sources",
+                precision.name()
+            );
+        }
+    }
+
+    #[test]
+    fn describe_appends_non_f32_precision() {
+        let p = MatchPipeline::new(SimilarityMetric::Cosine, Box::new(NoOp), Box::new(Greedy));
+        assert_eq!(p.describe(), "cosine+none+Greedy");
+        let p = p.with_precision(Precision::Int8);
+        assert_eq!(p.describe(), "cosine+none+Greedy@int8");
+    }
+
+    #[test]
+    fn quantized_similarity_emits_pack_span() {
+        use entmatcher_support::telemetry;
+
+        let _guard = crate::telemetry_test_lock();
+        let (s, t) = toy_embeddings();
+        let p = MatchPipeline::new(SimilarityMetric::Cosine, Box::new(NoOp), Box::new(Greedy))
+            .with_precision(Precision::Int8);
+        telemetry::set_enabled(true);
+        let r = p.execute(&s, &t, &MatchContext::default());
+        let trace = telemetry::snapshot();
+        telemetry::set_enabled(false);
+
+        let sim = trace
+            .spans_named("similarity")
+            .find(|sp| sp.duration_ns == r.similarity_time.as_nanos() as u64)
+            .expect("similarity span recorded");
+        assert!(
+            trace
+                .children(sim.id)
+                .iter()
+                .any(|sp| sp.name == "quant.pack"),
+            "quant.pack span under similarity"
+        );
+        assert!(trace.counter("quant.packed_bytes").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -28,9 +28,14 @@
 
 use crate::matching::Matching;
 use crate::similarity::{similarity_matrix, SimilarityMetric};
-use entmatcher_linalg::fused::{fused_argmax_affine, fused_topk_means, TopKAccumulator};
-use entmatcher_linalg::{normalize_rows_l2, Matrix};
+use entmatcher_linalg::fused::{
+    fused_argmax_affine, fused_argmax_affine_packed, fused_topk_means, fused_topk_means_packed,
+    TopKAccumulator,
+};
+use entmatcher_linalg::snapshot::SnapshotReader;
+use entmatcher_linalg::{normalize_rows_l2, Matrix, PackedAny, PackedBuilder, Precision};
 use entmatcher_support::telemetry;
+use std::path::Path;
 
 /// Default target-block width (rows of the similarity strip computed at
 /// once by the non-cosine paths). Bigger blocks amortize the pass
@@ -171,6 +176,160 @@ pub fn streaming_csls(
     Matching::new(best.into_iter().map(|(j, _)| j).collect())
 }
 
+/// [`streaming_greedy`] with a storage precision for the cosine path's
+/// packed target operand. `F32` delegates (bit-identical to dense DInf);
+/// `F16`/`Int8` pack the normalized target once at the reduced width and
+/// stream the fused argmax over the dequantize-fused micro-kernels.
+/// Distance metrics ignore `precision` (their kernels are not packed
+/// products) and behave exactly like [`streaming_greedy`].
+pub fn streaming_greedy_at(
+    source: &Matrix,
+    target: &Matrix,
+    metric: SimilarityMetric,
+    block: usize,
+    precision: Precision,
+) -> Matching {
+    if metric != SimilarityMetric::Cosine || precision == Precision::F32 {
+        return streaming_greedy(source, target, metric, block);
+    }
+    assert!(block > 0, "block size must be positive");
+    assert_eq!(
+        source.cols(),
+        target.cols(),
+        "source and target embeddings must share a dimensionality"
+    );
+    if target.rows() == 0 {
+        return Matching::new(vec![None; source.rows()]);
+    }
+    telemetry::add("fused.dispatch.greedy", 1);
+    let (s, t) = normalized_pair(source, target);
+    let packed = PackedAny::pack(&t, precision);
+    let picks =
+        fused_argmax_affine_packed(&s, &packed, 1.0, None, None).expect("dims checked above");
+    Matching::new(picks)
+}
+
+/// [`streaming_csls`] with a storage precision for the cosine path's
+/// packed operands. `F32` delegates; `F16`/`Int8` pack *both* normalized
+/// sides once (phi_t needs the target-rows x source-operand product) and
+/// run all three fused passes over quantized strips. Distance metrics
+/// ignore `precision`.
+pub fn streaming_csls_at(
+    source: &Matrix,
+    target: &Matrix,
+    metric: SimilarityMetric,
+    k: usize,
+    block: usize,
+    precision: Precision,
+) -> Matching {
+    if metric != SimilarityMetric::Cosine || precision == Precision::F32 {
+        return streaming_csls(source, target, metric, k, block);
+    }
+    assert!(k >= 1, "CSLS requires k >= 1");
+    assert!(block > 0, "block size must be positive");
+    assert_eq!(
+        source.cols(),
+        target.cols(),
+        "source and target embeddings must share a dimensionality"
+    );
+    let n_s = source.rows();
+    if n_s == 0 || target.rows() == 0 {
+        return Matching::new(vec![None; n_s]);
+    }
+    telemetry::add("fused.dispatch.csls", 1);
+    let (s, t) = normalized_pair(source, target);
+    let packed_t = PackedAny::pack(&t, precision);
+    let packed_s = PackedAny::pack(&s, precision);
+    let phi_s = fused_topk_means_packed(&s, &packed_t, k).expect("dims checked above");
+    let phi_t = fused_topk_means_packed(&t, &packed_s, k).expect("dims checked above");
+    let neg_s: Vec<f32> = phi_s.iter().map(|v| -v).collect();
+    let neg_t: Vec<f32> = phi_t.iter().map(|v| -v).collect();
+    let picks = fused_argmax_affine_packed(&s, &packed_t, 2.0, Some(&neg_s), Some(&neg_t))
+        .expect("dims checked");
+    Matching::new(picks)
+}
+
+/// Streams the target side's normalized rows out of the snapshot file at
+/// `path` in `chunk_rows`-row chunks, quantize-packing each chunk, then
+/// runs the fused cosine argmax against the packed operand — DInf where
+/// the target never exists in memory as a full f32 matrix. Auxiliary
+/// memory beyond the packed operand itself is O(chunk_rows · d),
+/// independent of the snapshot's row count.
+///
+/// At [`Precision::F32`] the decisions are bit-identical to
+/// [`streaming_greedy`] on the loaded matrix (chunked normalization is a
+/// row-local op).
+pub fn streaming_greedy_snapshot(
+    source: &Matrix,
+    path: &Path,
+    precision: Precision,
+    chunk_rows: usize,
+) -> entmatcher_linalg::Result<Matching> {
+    let packed = pack_normalized_snapshot(path, precision, chunk_rows)?;
+    let mut s = source.clone();
+    normalize_rows_l2(&mut s);
+    telemetry::add("fused.dispatch.greedy", 1);
+    let picks = fused_argmax_affine_packed(&s, &packed, 1.0, None, None)?;
+    Ok(Matching::new(picks))
+}
+
+/// Out-of-core CSLS + Greedy over a target snapshot: pass 1 streams the
+/// file into a packed (possibly quantized) operand; pass 2 re-streams it
+/// chunk-wise to score target rows against the packed *source* for the
+/// target-side neighbourhood statistic — so no full f32 target matrix is
+/// ever resident. See [`streaming_greedy_snapshot`] for the memory shape.
+pub fn streaming_csls_snapshot(
+    source: &Matrix,
+    path: &Path,
+    k: usize,
+    precision: Precision,
+    chunk_rows: usize,
+) -> entmatcher_linalg::Result<Matching> {
+    assert!(k >= 1, "CSLS requires k >= 1");
+    let packed_t = pack_normalized_snapshot(path, precision, chunk_rows)?;
+    let n_s = source.rows();
+    if n_s == 0 || packed_t.n() == 0 {
+        return Ok(Matching::new(vec![None; n_s]));
+    }
+    let mut s = source.clone();
+    normalize_rows_l2(&mut s);
+    let packed_s = PackedAny::pack(&s, precision);
+    telemetry::add("fused.dispatch.csls", 1);
+    let phi_s = fused_topk_means_packed(&s, &packed_t, k)?;
+    // Second pass over the file for phi_t: each chunk of target rows is a
+    // query block against the packed source side.
+    let mut reader = SnapshotReader::open(path)?;
+    let mut phi_t: Vec<f32> = Vec::with_capacity(reader.rows());
+    while let Some(mut chunk) = reader.next_chunk(chunk_rows.max(1))? {
+        normalize_rows_l2(&mut chunk);
+        phi_t.extend(fused_topk_means_packed(&chunk, &packed_s, k)?);
+    }
+    let neg_s: Vec<f32> = phi_s.iter().map(|v| -v).collect();
+    let neg_t: Vec<f32> = phi_t.iter().map(|v| -v).collect();
+    let picks = fused_argmax_affine_packed(&s, &packed_t, 2.0, Some(&neg_s), Some(&neg_t))?;
+    Ok(Matching::new(picks))
+}
+
+/// Chunk-streams the snapshot at `path`, L2-normalizing each chunk before
+/// it is packed, so cosine consumers get the packed normalized operand
+/// without a whole-matrix load. One `quant.stream.chunks` tick per chunk.
+fn pack_normalized_snapshot(
+    path: &Path,
+    precision: Precision,
+    chunk_rows: usize,
+) -> entmatcher_linalg::Result<PackedAny> {
+    let mut reader = SnapshotReader::open(path)?;
+    let mut builder = PackedBuilder::with_capacity(precision, reader.cols(), reader.rows());
+    let mut chunks = 0u64;
+    while let Some(mut chunk) = reader.next_chunk(chunk_rows.max(1))? {
+        normalize_rows_l2(&mut chunk);
+        builder.append(&chunk)?;
+        chunks += 1;
+    }
+    telemetry::add("quant.stream.chunks", chunks);
+    Ok(builder.finish())
+}
+
 /// Peak auxiliary bytes of the streaming kernels for an `n_s x n_t`
 /// instance — the number the scalability experiment compares against the
 /// dense pipelines' O(n^2). The fused cosine path's footprint (normalized
@@ -254,6 +413,95 @@ mod tests {
         assert_eq!(m.assignment(), &[None; 5]);
         let m2 = streaming_csls(&s, &empty, SimilarityMetric::Cosine, 3, 8);
         assert_eq!(m2.assignment(), &[None; 5]);
+    }
+
+    #[test]
+    fn precision_variants_delegate_at_f32() {
+        let s = random_embeddings(70, 16, 21);
+        let t = random_embeddings(85, 16, 22);
+        let base = streaming_greedy(&s, &t, SimilarityMetric::Cosine, 64);
+        let at = streaming_greedy_at(&s, &t, SimilarityMetric::Cosine, 64, Precision::F32);
+        assert_eq!(base, at);
+        let base = streaming_csls(&s, &t, SimilarityMetric::Cosine, 5, 64);
+        let at = streaming_csls_at(&s, &t, SimilarityMetric::Cosine, 5, 64, Precision::F32);
+        assert_eq!(base, at);
+        // Distance metrics ignore precision entirely.
+        let base = streaming_greedy(&s, &t, SimilarityMetric::Euclidean, 64);
+        let at = streaming_greedy_at(&s, &t, SimilarityMetric::Euclidean, 64, Precision::Int8);
+        assert_eq!(base, at);
+    }
+
+    #[test]
+    fn quantized_streaming_tracks_f32_decisions() {
+        use entmatcher_data::{clustered_embeddings, EmbeddingSpec};
+
+        let pair = clustered_embeddings(&EmbeddingSpec {
+            entities: 150,
+            dim: 16,
+            clusters: 10,
+            spread: 0.25,
+            noise: 0.05,
+            seed: 55,
+        });
+        let (s, t) = (&pair.source, &pair.target);
+        let exact = streaming_greedy(s, t, SimilarityMetric::Cosine, 64);
+        let exact_csls = streaming_csls(s, t, SimilarityMetric::Cosine, 5, 64);
+        for precision in [Precision::F16, Precision::Int8] {
+            let g = streaming_greedy_at(s, t, SimilarityMetric::Cosine, 64, precision);
+            let agree = exact
+                .assignment()
+                .iter()
+                .zip(g.assignment())
+                .filter(|(a, b)| a == b)
+                .count();
+            assert!(agree >= 145, "{} greedy agrees on {agree}/150", precision.name());
+            let c = streaming_csls_at(s, t, SimilarityMetric::Cosine, 5, 64, precision);
+            let agree = exact_csls
+                .assignment()
+                .iter()
+                .zip(c.assignment())
+                .filter(|(a, b)| a == b)
+                .count();
+            assert!(agree >= 145, "{} csls agrees on {agree}/150", precision.name());
+        }
+    }
+
+    #[test]
+    fn snapshot_streaming_matches_in_memory_bitwise() {
+        use entmatcher_linalg::snapshot::to_bytes;
+
+        let s = random_embeddings(60, 16, 31);
+        let t = random_embeddings(77, 16, 32);
+        let dir =
+            std::env::temp_dir().join(format!("entmatcher-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.emb");
+        std::fs::write(&path, to_bytes(&t)).unwrap();
+
+        for precision in [Precision::F32, Precision::F16, Precision::Int8] {
+            // In-memory reference at the same precision: chunked
+            // normalization is row-local and builder packing equals
+            // one-shot packing, so every chunk size must be bitwise equal.
+            let greedy_ref =
+                streaming_greedy_at(&s, &t, SimilarityMetric::Cosine, 64, precision);
+            let csls_ref =
+                streaming_csls_at(&s, &t, SimilarityMetric::Cosine, 4, 64, precision);
+            for chunk in [1usize, 13, 77, 500] {
+                let g = streaming_greedy_snapshot(&s, &path, precision, chunk).unwrap();
+                assert_eq!(g, greedy_ref, "{} greedy chunk {chunk}", precision.name());
+                let c = streaming_csls_snapshot(&s, &path, 4, precision, chunk).unwrap();
+                assert_eq!(c, csls_ref, "{} csls chunk {chunk}", precision.name());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_streaming_surfaces_io_errors() {
+        let s = random_embeddings(3, 4, 41);
+        let missing = std::path::PathBuf::from("/nonexistent/entmatcher/target.emb");
+        assert!(streaming_greedy_snapshot(&s, &missing, Precision::Int8, 16).is_err());
+        assert!(streaming_csls_snapshot(&s, &missing, 3, Precision::Int8, 16).is_err());
     }
 
     #[test]

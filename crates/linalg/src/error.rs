@@ -30,6 +30,10 @@ pub enum LinalgError {
     },
     /// A binary snapshot could not be decoded.
     CorruptSnapshot(String),
+    /// An I/O operation on a snapshot file failed (message carries the
+    /// underlying `std::io::Error` text; kept as a string so the error
+    /// type stays `Clone + PartialEq`).
+    Io(String),
 }
 
 impl fmt::Display for LinalgError {
@@ -50,6 +54,7 @@ impl fmt::Display for LinalgError {
                 write!(f, "index {index} out of bounds ({bound})")
             }
             LinalgError::CorruptSnapshot(msg) => write!(f, "corrupt matrix snapshot: {msg}"),
+            LinalgError::Io(msg) => write!(f, "snapshot i/o error: {msg}"),
         }
     }
 }

@@ -24,7 +24,7 @@
 //! Telemetry (when enabled): `fused.tiles`, `fused.rows`.
 
 use crate::error::LinalgError;
-use crate::gemm::{tile_into, tile_stride, PackedB, NR};
+use crate::gemm::{tile_into, tile_stride, PackedB, PackedOperand, NR};
 use crate::matrix::Matrix;
 use crate::parallel::{par_row_chunks_mut_grained, Grain};
 use crate::Result;
@@ -187,10 +187,12 @@ fn fused_scan<S: Send + Default + Clone>(
 
 /// [`fused_scan`] against a *pre-packed* right operand — the entry point
 /// for callers that amortize packing across many scans (e.g. ANN inverted
-/// lists stored directly as packed strips).
-fn fused_scan_packed<S: Send + Default + Clone>(
+/// lists stored directly as packed strips). Generic over the operand's
+/// storage precision: quantized payloads dequantize inside the register
+/// block, so the scratch tile is the only f32 copy that ever exists.
+fn fused_scan_packed<S: Send + Default + Clone, P: PackedOperand + ?Sized>(
     a: &Matrix,
-    packed: &PackedB,
+    packed: &P,
     visit: impl Fn(&mut S, usize, usize, &[f32]) + Sync,
 ) -> Vec<S> {
     let m = a.rows();
@@ -271,8 +273,13 @@ pub fn fused_topk(a: &Matrix, b: &Matrix, k: usize) -> Result<Vec<Vec<(u32, f32)
 /// once by the caller and amortized over many scans — the tile path
 /// (register blocks, SIMD dispatch, bounded heaps) is identical to
 /// [`fused_topk`], so the scores are bit-identical to the dense product of
-/// `a` with the matrix `P` was packed from.
-pub fn fused_topk_packed(a: &Matrix, packed: &PackedB, k: usize) -> Result<Vec<Vec<(u32, f32)>>> {
+/// `a` with the matrix `P` was packed from (its *dequantized* matrix for
+/// reduced-precision operands).
+pub fn fused_topk_packed<P: PackedOperand + ?Sized>(
+    a: &Matrix,
+    packed: &P,
+    k: usize,
+) -> Result<Vec<Vec<(u32, f32)>>> {
     if a.cols() != packed.d() {
         return Err(LinalgError::DimMismatch {
             op: "fused_topk_packed",
@@ -283,7 +290,7 @@ pub fn fused_topk_packed(a: &Matrix, packed: &PackedB, k: usize) -> Result<Vec<V
     #[derive(Clone, Default)]
     struct St(Option<TopKAccumulator>);
     let kk = k;
-    let state = fused_scan_packed::<St>(a, packed, |st, _row, col0, scores| {
+    let state = fused_scan_packed::<St, P>(a, packed, |st, _row, col0, scores| {
         let acc = st.0.get_or_insert_with(|| TopKAccumulator::new(kk));
         for (j, &v) in scores.iter().enumerate() {
             acc.push((col0 + j) as u32, v);
@@ -304,6 +311,37 @@ pub fn fused_topk_means(a: &Matrix, b: &Matrix, k: usize) -> Result<Vec<f32>> {
     struct St(Option<TopKAccumulator>);
     let kk = k;
     let state = fused_scan::<St>(a, b, |st, _row, col0, scores| {
+        let acc = st.0.get_or_insert_with(|| TopKAccumulator::new(kk));
+        for (j, &v) in scores.iter().enumerate() {
+            acc.push((col0 + j) as u32, v);
+        }
+    });
+    Ok(state
+        .into_iter()
+        .map(|st| st.0.as_ref().map(TopKAccumulator::mean).unwrap_or(0.0))
+        .collect())
+}
+
+/// [`fused_topk_means`] against a *pre-packed* right operand (any
+/// [`PackedOperand`] precision): packing is paid once by the caller and
+/// shared with the decision pass, which at reduced precision also shrinks
+/// the resident operand by the element-width ratio.
+pub fn fused_topk_means_packed<P: PackedOperand + ?Sized>(
+    a: &Matrix,
+    packed: &P,
+    k: usize,
+) -> Result<Vec<f32>> {
+    if a.cols() != packed.d() {
+        return Err(LinalgError::DimMismatch {
+            op: "fused_topk_means_packed",
+            left: a.shape(),
+            right: (packed.n(), packed.d()),
+        });
+    }
+    #[derive(Clone, Default)]
+    struct St(Option<TopKAccumulator>);
+    let kk = k;
+    let state = fused_scan_packed::<St, P>(a, packed, |st, _row, col0, scores| {
         let acc = st.0.get_or_insert_with(|| TopKAccumulator::new(kk));
         for (j, &v) in scores.iter().enumerate() {
             acc.push((col0 + j) as u32, v);
@@ -343,6 +381,52 @@ pub fn fused_argmax_affine(
         }
     }
     let state = fused_scan::<Best>(a, b, |best, row, col0, scores| {
+        let ro = row_off.map_or(0.0, |off| off[row]);
+        for (j, &s) in scores.iter().enumerate() {
+            let col = col0 + j;
+            let mut v = scale * s + ro;
+            if let Some(off) = col_off {
+                v += off[col];
+            }
+            if v > best.1 {
+                *best = Best(Some(col as u32), v);
+            }
+        }
+    });
+    Ok(state.into_iter().map(|b| b.0).collect())
+}
+
+/// [`fused_argmax_affine`] against a *pre-packed* right operand (any
+/// [`PackedOperand`] precision) — lets the streaming decision pass reuse
+/// the packed (possibly quantized) operand the statistics pass built.
+pub fn fused_argmax_affine_packed<P: PackedOperand + ?Sized>(
+    a: &Matrix,
+    packed: &P,
+    scale: f32,
+    row_off: Option<&[f32]>,
+    col_off: Option<&[f32]>,
+) -> Result<Vec<Option<u32>>> {
+    if a.cols() != packed.d() {
+        return Err(LinalgError::DimMismatch {
+            op: "fused_argmax_affine_packed",
+            left: a.shape(),
+            right: (packed.n(), packed.d()),
+        });
+    }
+    if let Some(off) = row_off {
+        assert_eq!(off.len(), a.rows(), "row offset length mismatch");
+    }
+    if let Some(off) = col_off {
+        assert_eq!(off.len(), packed.n(), "col offset length mismatch");
+    }
+    #[derive(Clone)]
+    struct Best(Option<u32>, f32);
+    impl Default for Best {
+        fn default() -> Self {
+            Best(None, f32::NEG_INFINITY)
+        }
+    }
+    let state = fused_scan_packed::<Best, P>(a, packed, |best, row, col0, scores| {
         let ro = row_off.map_or(0.0, |off| off[row]);
         for (j, &s) in scores.iter().enumerate() {
             let col = col0 + j;

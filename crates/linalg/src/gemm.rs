@@ -45,6 +45,51 @@ pub const NR: usize = 8;
 /// 512 KiB L2, leaving room for the `A` row block and the output tile).
 pub const PANEL_BYTES: usize = 256 * 1024;
 
+/// A packed right operand the blocked/fused kernels can tile against,
+/// whatever its storage precision. [`PackedB`] is the f32 reference;
+/// [`crate::quant::QuantPackedB`] stores f16/int8 strips and dequantizes
+/// inside the register block; [`crate::quant::PackedAny`] dispatches
+/// between them. The strip geometry ([`NR`] rows per strip, zero-padded
+/// tails) is shared by every implementation — only the element width and
+/// micro-kernel differ.
+pub trait PackedOperand: Sync {
+    /// Valid (unpadded) row count of the packed operand.
+    fn n(&self) -> usize;
+
+    /// Shared depth (columns of `A` and the packed `B`).
+    fn d(&self) -> usize;
+
+    /// Number of [`NR`]-row strips (including the zero-padded tail strip).
+    fn strips(&self) -> usize {
+        self.n().div_ceil(NR)
+    }
+
+    /// Heap bytes held by the packed payload.
+    fn packed_bytes(&self) -> usize;
+
+    /// Strips per L2 cache panel — implementations size this by their
+    /// *element width*, so narrower payloads keep more strips hot.
+    fn panel_strips(&self) -> usize;
+
+    /// Computes the tile `A[row0..row0+rows] x strips[s0..s1]` into `out`
+    /// (row-major, stride `out_stride`, column 0 = output column
+    /// `col_base`; tail lanes past [`PackedOperand::n`] trimmed) at the
+    /// requested micro-kernel level. Returns micro-kernel invocations.
+    #[allow(clippy::too_many_arguments)]
+    fn block_into(
+        &self,
+        a: &Matrix,
+        row0: usize,
+        rows: usize,
+        s0: usize,
+        s1: usize,
+        out: &mut [f32],
+        out_stride: usize,
+        col_base: usize,
+        level: SimdLevel,
+    ) -> u64;
+}
+
 /// `B` repacked into transposed strips of [`NR`] rows.
 ///
 /// Strip `s` covers `B` rows `s*NR .. s*NR+NR` (zero-padded past `n`) and
@@ -76,6 +121,14 @@ impl PackedB {
             }
         }
         telemetry::add("gemm.packed_bytes", (data.len() * 4) as u64);
+        PackedB { data, n, d }
+    }
+
+    /// Wraps an already-strip-packed buffer (the chunked builder path in
+    /// [`crate::quant::PackedBuilder`]). `data.len()` must equal
+    /// `n.div_ceil(NR) * d * NR`.
+    pub(crate) fn from_raw(data: Vec<f32>, n: usize, d: usize) -> PackedB {
+        debug_assert_eq!(data.len(), n.div_ceil(NR) * d * NR);
         PackedB { data, n, d }
     }
 
@@ -114,6 +167,39 @@ impl PackedB {
     pub fn panel_strips(&self) -> usize {
         let strip_bytes = (self.d * NR * 4).max(1);
         (PANEL_BYTES / strip_bytes).max(1)
+    }
+}
+
+impl PackedOperand for PackedB {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn d(&self) -> usize {
+        self.d
+    }
+
+    fn packed_bytes(&self) -> usize {
+        PackedB::packed_bytes(self)
+    }
+
+    fn panel_strips(&self) -> usize {
+        PackedB::panel_strips(self)
+    }
+
+    fn block_into(
+        &self,
+        a: &Matrix,
+        row0: usize,
+        rows: usize,
+        s0: usize,
+        s1: usize,
+        out: &mut [f32],
+        out_stride: usize,
+        col_base: usize,
+        level: SimdLevel,
+    ) -> u64 {
+        block_into(a, row0, rows, self, s0, s1, out, out_stride, col_base, level)
     }
 }
 
@@ -271,9 +357,13 @@ fn block_into_simd(
     tiles
 }
 
-/// Blocked `A * B^T` against a pre-packed right operand, using the
-/// process-wide SIMD dispatch decision ([`crate::simd::active`]).
-pub fn matmul_blocked_packed(a: &Matrix, packed: &PackedB) -> Result<Matrix> {
+/// Blocked `A * B^T` against a pre-packed right operand (any
+/// [`PackedOperand`] precision), using the process-wide SIMD dispatch
+/// decision ([`crate::simd::active`]).
+pub fn matmul_blocked_packed<P: PackedOperand + ?Sized>(
+    a: &Matrix,
+    packed: &P,
+) -> Result<Matrix> {
     matmul_blocked_packed_with(a, packed, crate::simd::active())
 }
 
@@ -282,9 +372,9 @@ pub fn matmul_blocked_packed(a: &Matrix, packed: &PackedB) -> Result<Matrix> {
 /// tests and benchmarks. The output chunk rows are parallelized on the
 /// persistent pool; within each task the packed panels loop outermost so
 /// each panel is read from L2, not memory.
-pub fn matmul_blocked_packed_with(
+pub fn matmul_blocked_packed_with<P: PackedOperand + ?Sized>(
     a: &Matrix,
-    packed: &PackedB,
+    packed: &P,
     level: SimdLevel,
 ) -> Result<Matrix> {
     let level = crate::simd::clamp_supported(level);
@@ -315,7 +405,7 @@ pub fn matmul_blocked_packed_with(
         let mut s0 = 0usize;
         while s0 < strips {
             let s1 = (s0 + panel).min(strips);
-            local_tiles += block_into(a, start_row, rows, packed, s0, s1, chunk, n, 0, level);
+            local_tiles += packed.block_into(a, start_row, rows, s0, s1, chunk, n, 0, level);
             local_panels += 1;
             s0 = s1;
         }
@@ -352,11 +442,11 @@ pub fn matmul_blocked_with(a: &Matrix, b: &Matrix, level: SimdLevel) -> Result<M
 /// trimmed to `packed.n()`); used by the fused streaming kernels, which
 /// reduce the tile immediately instead of materializing the full matrix.
 /// Returns the valid (trimmed) tile width.
-pub(crate) fn tile_into(
+pub(crate) fn tile_into<P: PackedOperand + ?Sized>(
     a: &Matrix,
     row0: usize,
     rows: usize,
-    packed: &PackedB,
+    packed: &P,
     s0: usize,
     s1: usize,
     scratch: &mut [f32],
@@ -365,17 +455,16 @@ pub(crate) fn tile_into(
     let width = (packed.n().min(s1 * NR)) - col_base;
     let stride = (s1 - s0) * NR;
     debug_assert!(scratch.len() >= rows * stride);
-    let tiles = block_into(
+    let tiles = packed.block_into(
         a,
         row0,
         rows,
-        packed,
         s0,
         s1,
         scratch,
         stride,
         col_base,
-        crate::simd::active(),
+        crate::simd::clamp_supported(crate::simd::active()),
     );
     (width, tiles)
 }

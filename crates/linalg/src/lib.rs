@@ -33,6 +33,7 @@ pub mod gemm;
 pub mod matrix;
 pub mod ops;
 pub mod parallel;
+pub mod quant;
 pub mod rank;
 pub mod simd;
 pub mod snapshot;
@@ -40,9 +41,17 @@ pub mod stats;
 
 pub use error::LinalgError;
 pub use fused::{
-    fused_argmax_affine, fused_topk, fused_topk_means, fused_topk_packed, TopKAccumulator,
+    fused_argmax_affine, fused_argmax_affine_packed, fused_topk, fused_topk_means,
+    fused_topk_means_packed, fused_topk_packed, TopKAccumulator,
 };
-pub use gemm::{matmul_blocked, matmul_blocked_with, PackedB};
+pub use gemm::{
+    matmul_blocked, matmul_blocked_packed, matmul_blocked_packed_with, matmul_blocked_with,
+    PackedB, PackedOperand,
+};
+pub use quant::{
+    pack_snapshot_stream, quantize_roundtrip, PackedAny, PackedBuilder, Precision, QuantPackedB,
+    QuantizedMatrix,
+};
 pub use simd::SimdLevel;
 pub use matrix::Matrix;
 pub use ops::{dot, l2_norm, matmul_naive, matmul_transposed, normalize_rows_l2};

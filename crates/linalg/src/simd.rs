@@ -144,6 +144,20 @@ fn detect_fma() -> bool {
     false
 }
 
+/// Whether the host can run the F16C half-to-float conversion the f16
+/// dequantize-fused kernel needs on top of AVX2. Without it the f16
+/// payload falls back to the scalar kernel (still bitwise identical).
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn has_f16c() -> bool {
+    detect_avx2() && std::arch::is_x86_feature_detected!("f16c")
+}
+
+/// Non-x86 targets never run the vector kernels.
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) fn has_f16c() -> bool {
+    false
+}
+
 /// Rows of `A` per vector register tile. Wider than the scalar
 /// [`crate::gemm::MR`] because with one-load-per-depth the broadcast
 /// multiply-adds of 8 independent rows hide each other's latency; 8
@@ -193,6 +207,73 @@ pub(crate) unsafe fn micro_fma(a_rows: &[&[f32]; MR_SIMD], strip: &[f32], out: &
         for i in 0..MR_SIMD {
             let av = _mm256_set1_ps(*a_rows[i].get_unchecked(dd));
             acc[i] = _mm256_fmadd_ps(av, bv, acc[i]);
+        }
+    }
+    for i in 0..MR_SIMD {
+        _mm256_storeu_ps(out[i].as_mut_ptr(), acc[i]);
+    }
+}
+
+/// AVX2+F16C dequantize-fused micro-kernel for an f16 strip: each depth
+/// chunk of [`NR`] halves is widened with `vcvtph2ps` (exact, so it agrees
+/// bit-for-bit with the scalar software conversion), then accumulated with
+/// separate multiply and add — bitwise identical to the scalar
+/// dequantize-fused reference in [`crate::quant`].
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and F16C and that each
+/// `a_rows[i]` has at least `strip.len() / NR` elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,f16c")]
+pub(crate) unsafe fn micro_avx2_f16(
+    a_rows: &[&[f32]; MR_SIMD],
+    strip: &[u16],
+    out: &mut [[f32; NR]; MR_SIMD],
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [_mm256_setzero_ps(); MR_SIMD];
+    for (dd, h8) in strip.chunks_exact(NR).enumerate() {
+        // 8 halves = 16 bytes -> 8 f32 lanes, conversion exact.
+        let hv = _mm_loadu_si128(h8.as_ptr() as *const __m128i);
+        let bv = _mm256_cvtph_ps(hv);
+        for i in 0..MR_SIMD {
+            let av = _mm256_set1_ps(*a_rows[i].get_unchecked(dd));
+            acc[i] = _mm256_add_ps(acc[i], _mm256_mul_ps(av, bv));
+        }
+    }
+    for i in 0..MR_SIMD {
+        _mm256_storeu_ps(out[i].as_mut_ptr(), acc[i]);
+    }
+}
+
+/// AVX2 dequantize-fused micro-kernel for an int8 strip: each depth chunk
+/// of [`NR`] bytes is sign-extended and converted to f32 (exact), then
+/// multiplied by the strip's per-lane scale vector (one rounding) and
+/// accumulated with separate multiply and add — the identical per-lane
+/// operation sequence to the scalar reference, hence bitwise identity.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and that each `a_rows[i]` has
+/// at least `strip.len() / NR` elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn micro_avx2_i8(
+    a_rows: &[&[f32]; MR_SIMD],
+    strip: &[i8],
+    scales: &[f32; NR],
+    out: &mut [[f32; NR]; MR_SIMD],
+) {
+    use std::arch::x86_64::*;
+    let sv = _mm256_loadu_ps(scales.as_ptr());
+    let mut acc = [_mm256_setzero_ps(); MR_SIMD];
+    for (dd, q8) in strip.chunks_exact(NR).enumerate() {
+        // 8 int8 = 8 bytes -> sign-extend to i32 -> f32 (both exact),
+        // then one rounding for the scale multiply.
+        let qv = _mm_loadl_epi64(q8.as_ptr() as *const __m128i);
+        let bv = _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(qv)), sv);
+        for i in 0..MR_SIMD {
+            let av = _mm256_set1_ps(*a_rows[i].get_unchecked(dd));
+            acc[i] = _mm256_add_ps(acc[i], _mm256_mul_ps(av, bv));
         }
     }
     for i in 0..MR_SIMD {

@@ -7,13 +7,25 @@
 //!
 //! Layout (little-endian):
 //! `magic "EMTX" | u32 version | u64 rows | u64 cols | rows*cols * f32`.
+//!
+//! Besides the in-memory [`to_bytes`]/[`from_bytes`] pair, the module
+//! offers out-of-core access: [`SnapshotReader`] iterates a snapshot in
+//! fixed-size row chunks through a buffered reader, and
+//! [`read_file_chunked`] loads a file with aux memory bounded by the chunk
+//! (no full byte-buffer copy next to the decoded matrix, which is what
+//! `fs::read` + [`from_bytes`] costs).
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::Result;
+use entmatcher_support::telemetry;
+use std::io::Read;
 
 const MAGIC: &[u8; 4] = b"EMTX";
 const VERSION: u32 = 1;
+
+/// Size of the fixed snapshot header in bytes.
+const HEADER_BYTES: usize = 24;
 
 /// Serializes a matrix into the snapshot wire format.
 pub fn to_bytes(m: &Matrix) -> Vec<u8> {
@@ -83,6 +95,144 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Matrix> {
     Matrix::from_vec(rows, cols, data)
 }
 
+/// Decodes a snapshot header from raw bytes (shared by [`from_bytes`] and
+/// the streaming reader). Returns `(rows, cols)`.
+fn parse_header(head: &[u8; HEADER_BYTES]) -> Result<(usize, usize)> {
+    let magic: [u8; 4] = head[0..4].try_into().unwrap();
+    if &magic != MAGIC {
+        return Err(LinalgError::CorruptSnapshot(format!("bad magic {magic:?}")));
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(LinalgError::CorruptSnapshot(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let rows = u64::from_le_bytes(head[8..16].try_into().unwrap()) as usize;
+    let cols = u64::from_le_bytes(head[16..24].try_into().unwrap()) as usize;
+    rows.checked_mul(cols)
+        .ok_or_else(|| LinalgError::CorruptSnapshot("shape overflow".into()))?;
+    Ok((rows, cols))
+}
+
+/// Streams a snapshot in fixed-size row chunks — the out-of-core load
+/// path. The header is parsed eagerly so [`SnapshotReader::rows`] /
+/// [`SnapshotReader::cols`] can size downstream buffers (e.g.
+/// [`crate::quant::PackedBuilder::with_capacity`]) before any payload is
+/// read; the payload is then consumed chunk by chunk through one reused
+/// byte buffer, so aux memory is O(chunk), independent of snapshot size.
+#[derive(Debug)]
+pub struct SnapshotReader<R = std::io::BufReader<std::fs::File>> {
+    inner: R,
+    rows: usize,
+    cols: usize,
+    next_row: usize,
+    /// Reused chunk byte buffer (grown to the largest chunk requested).
+    buf: Vec<u8>,
+}
+
+impl SnapshotReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a snapshot file for chunked reading, validating the header
+    /// and that the file length matches the declared shape.
+    pub fn open(path: &std::path::Path) -> Result<Self> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| LinalgError::Io(format!("{}: {e}", path.display())))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| LinalgError::Io(format!("{}: {e}", path.display())))?
+            .len();
+        let reader = Self::from_reader(std::io::BufReader::new(file))?;
+        let expected = HEADER_BYTES as u64 + (reader.rows * reader.cols * 4) as u64;
+        if file_len != expected {
+            return Err(LinalgError::CorruptSnapshot(format!(
+                "file length {file_len} != {expected} for {} x {}",
+                reader.rows, reader.cols
+            )));
+        }
+        Ok(reader)
+    }
+}
+
+impl<R: Read> SnapshotReader<R> {
+    /// Wraps any byte stream positioned at a snapshot header.
+    pub fn from_reader(mut inner: R) -> Result<Self> {
+        let mut head = [0u8; HEADER_BYTES];
+        inner
+            .read_exact(&mut head)
+            .map_err(|_| LinalgError::CorruptSnapshot("truncated header".into()))?;
+        let (rows, cols) = parse_header(&head)?;
+        Ok(SnapshotReader {
+            inner,
+            rows,
+            cols,
+            next_row: 0,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Total rows declared by the header.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns declared by the header.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows not yet consumed.
+    #[inline]
+    pub fn rows_remaining(&self) -> usize {
+        self.rows - self.next_row
+    }
+
+    /// Reads the next chunk of at most `max_rows` rows (`None` once the
+    /// payload is exhausted). A truncated stream is a
+    /// [`LinalgError::CorruptSnapshot`].
+    pub fn next_chunk(&mut self, max_rows: usize) -> Result<Option<Matrix>> {
+        let rows = max_rows.max(1).min(self.rows_remaining());
+        if rows == 0 {
+            return Ok(None);
+        }
+        let bytes = rows * self.cols * 4;
+        self.buf.resize(bytes, 0);
+        self.inner.read_exact(&mut self.buf).map_err(|_| {
+            LinalgError::CorruptSnapshot(format!(
+                "truncated payload at row {} of {}",
+                self.next_row, self.rows
+            ))
+        })?;
+        let mut data = Vec::with_capacity(rows * self.cols);
+        for quad in self.buf.chunks_exact(4) {
+            data.push(f32::from_le_bytes(quad.try_into().unwrap()));
+        }
+        self.next_row += rows;
+        Ok(Some(Matrix::from_vec(rows, self.cols, data)?))
+    }
+}
+
+/// Loads a snapshot file with aux memory bounded by `chunk_rows`: the
+/// output matrix is allocated once from the header and filled through the
+/// streaming reader, instead of holding the whole file's bytes next to the
+/// decoded floats. Telemetry: `snapshot.stream.chunks`.
+pub fn read_file_chunked(path: &std::path::Path, chunk_rows: usize) -> Result<Matrix> {
+    let mut reader = SnapshotReader::open(path)?;
+    let (rows, cols) = (reader.rows(), reader.cols());
+    let mut out = Matrix::zeros(rows, cols);
+    let mut row = 0usize;
+    let mut chunks = 0u64;
+    while let Some(chunk) = reader.next_chunk(chunk_rows)? {
+        let dst = &mut out.as_mut_slice()[row * cols..(row + chunk.rows()) * cols];
+        dst.copy_from_slice(chunk.as_slice());
+        row += chunk.rows();
+        chunks += 1;
+    }
+    telemetry::add("snapshot.stream.chunks", chunks);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +267,64 @@ mod tests {
     #[test]
     fn rejects_truncated_header() {
         assert!(from_bytes(b"EMTX").is_err());
+    }
+
+    #[test]
+    fn reader_streams_chunks_in_order() {
+        let m = Matrix::from_fn(11, 3, |r, c| (r * 3 + c) as f32);
+        let bytes = to_bytes(&m);
+        let mut reader = SnapshotReader::from_reader(std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!((reader.rows(), reader.cols()), (11, 3));
+        let mut row = 0usize;
+        while let Some(chunk) = reader.next_chunk(4).unwrap() {
+            assert_eq!(chunk.cols(), 3);
+            for r in 0..chunk.rows() {
+                assert_eq!(chunk.row(r), m.row(row + r));
+            }
+            row += chunk.rows();
+        }
+        assert_eq!(row, 11);
+        assert_eq!(reader.rows_remaining(), 0);
+        assert!(reader.next_chunk(4).unwrap().is_none());
+    }
+
+    #[test]
+    fn reader_rejects_truncated_payload() {
+        let bytes = to_bytes(&Matrix::zeros(4, 2));
+        let cut = &bytes[..bytes.len() - 4];
+        let mut reader = SnapshotReader::from_reader(std::io::Cursor::new(cut.to_vec())).unwrap();
+        let mut last = Ok(None);
+        for _ in 0..4 {
+            last = reader.next_chunk(2);
+            if last.is_err() {
+                break;
+            }
+        }
+        assert!(last.is_err());
+    }
+
+    #[test]
+    fn chunked_file_load_matches_from_bytes() {
+        let m = Matrix::from_fn(23, 5, |r, c| (r as f32) * 0.5 - (c as f32) * 0.125);
+        let dir =
+            std::env::temp_dir().join(format!("entmatcher-snapshot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunked.emb");
+        std::fs::write(&path, to_bytes(&m)).unwrap();
+        for chunk in [1usize, 7, 23, 100] {
+            assert_eq!(read_file_chunked(&path, chunk).unwrap(), m, "chunk={chunk}");
+        }
+        // Length validation: a padded file is rejected up front.
+        let mut padded = to_bytes(&m);
+        padded.push(0);
+        std::fs::write(&path, padded).unwrap();
+        assert!(SnapshotReader::open(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let err = SnapshotReader::open(std::path::Path::new("/nonexistent/x.emb")).unwrap_err();
+        assert!(matches!(err, LinalgError::Io(_)));
     }
 }

@@ -7,7 +7,11 @@
 # micro-kernel — the production hot path) and `blocked_scalar` (the
 # scalar reference, so a regression hiding under SIMD gains is still
 # caught) must stay within ENTMATCHER_BENCH_TOLERANCE_PCT (default 20)
-# percent of the `BENCH_kernels.json` baseline.
+# percent of the `BENCH_kernels.json` baseline. The dequantize-fused
+# kernels (`blocked_f16` / `blocked_int8`) are gated the same way against
+# the baseline, plus an absolute floor: each must hold at least
+# ENTMATCHER_QUANT_GFLOPS_FLOOR_PCT (default 60) percent of the f32
+# blocked throughput measured in the same fresh run.
 #
 # ANN gate: the fresh sweep must contain at least one probe width with
 # recall@10 >= ENTMATCHER_ANN_RECALL_FLOOR (default 0.95) at speedup >=
@@ -21,7 +25,10 @@
 # baseline by more than the same tolerance — a breach means a stage
 # started materializing something new (e.g. a streaming path fell back
 # to a dense copy). Unlike throughput, the ceiling is one-sided: using
-# *less* memory never fails.
+# *less* memory never fails. The quantization storage claim is gated on
+# the same artifact: measured pack_int8 bytes/entity must stay at least
+# ENTMATCHER_QUANT_RATIO_FLOOR (default 3.5) times below pack_f32 at
+# every scale.
 #
 # This is deliberately a separate script from verify.sh: the full bench
 # takes minutes and wall-clock throughput is only meaningful on a quiet
@@ -112,10 +119,10 @@ ENTMATCHER_KERNEL_BENCH_OUT="$FRESH_OUT" \
     cargo bench --offline -p entmatcher-bench --bench kernels >/dev/null
 
 STATUS=0
-for KERNEL in blocked blocked_scalar; do
+for KERNEL in blocked blocked_scalar blocked_f16 blocked_int8; do
     BASE=$(max_kernel_gflops "$BASELINE" "$KERNEL") || {
-        # Older baselines predate blocked_scalar; only the production
-        # kernel is mandatory in the baseline.
+        # Older baselines predate the non-blocked kernels; only the
+        # production kernel is mandatory in the baseline.
         if [ "$KERNEL" = "blocked" ]; then
             echo "bench_gate: no blocked-kernel entry in $BASELINE" >&2
             exit 1
@@ -134,6 +141,28 @@ for KERNEL in blocked blocked_scalar; do
             exit 1
         }
         printf "bench_gate: ok: %s %.2f GFLOP/s vs baseline %.2f (floor %.2f, tolerance %s%%)\n", k, fresh, base, floor, tol
+    }' || STATUS=1
+done
+
+# Dequantize-fused floor: the quantized kernels must hold at least
+# QUANT_FLOOR_PCT of the f32 blocked throughput in the SAME fresh run —
+# an absolute ratio, not a baseline delta, so quantized storage can never
+# quietly become much slower than full precision.
+QUANT_FLOOR_PCT="${ENTMATCHER_QUANT_GFLOPS_FLOOR_PCT:-60}"
+FRESH_BLOCKED=$(max_kernel_gflops "$FRESH_OUT" blocked)
+for KERNEL in blocked_f16 blocked_int8; do
+    FRESH=$(max_kernel_gflops "$FRESH_OUT" "$KERNEL") || {
+        echo "bench_gate: FAIL: no $KERNEL entry in fresh bench output" >&2
+        exit 1
+    }
+    awk -v k="$KERNEL" -v fresh="$FRESH" -v blocked="$FRESH_BLOCKED" \
+        -v pct="$QUANT_FLOOR_PCT" 'BEGIN {
+        floor = blocked * pct / 100
+        if (fresh < floor) {
+            printf "bench_gate: FAIL: %s %.2f GFLOP/s is below %s%% of f32 blocked %.2f (floor %.2f)\n", k, fresh, pct, blocked, floor
+            exit 1
+        }
+        printf "bench_gate: ok: %s %.2f GFLOP/s holds %s%% of f32 blocked %.2f (floor %.2f)\n", k, fresh, pct, blocked, floor
     }' || STATUS=1
 done
 
@@ -185,4 +214,30 @@ mem_rows "$MEM_BASELINE" | while read -r STAGE N BASE; do
         printf "bench_gate: ok: %s n=%s %.0f B/entity vs baseline %.0f (ceiling %.0f, tolerance %s%%)\n", s, n, fresh, base, ceil, tol
     }'
 done || STATUS=1
+
+# Quantization-ratio gate: measured pack_int8 bytes/entity must stay at
+# least QUANT_RATIO_FLOOR times below pack_f32 at every scale the fresh
+# run measured — the storage claim, gated on measured peaks rather than
+# the arithmetic d*4 / (d+4) model.
+QUANT_RATIO_FLOOR="${ENTMATCHER_QUANT_RATIO_FLOOR:-3.5}"
+mem_rows "$MEM_FRESH_OUT" | awk -v floor="$QUANT_RATIO_FLOOR" '
+    $1 == "pack_f32" { f32[$2] = $3 }
+    $1 == "pack_int8" { i8[$2] = $3 }
+    END {
+        seen = 0
+        for (n in f32) {
+            if (!(n in i8) || i8[n] <= 0) continue
+            seen = 1
+            ratio = f32[n] / i8[n]
+            if (ratio < floor) {
+                printf "bench_gate: FAIL: pack_int8 n=%s is only %.2fx smaller than pack_f32 (floor %.1fx)\n", n, ratio, floor
+                exit 1
+            }
+            printf "bench_gate: ok: pack_int8 n=%s is %.2fx smaller than pack_f32 (floor %.1fx)\n", n, ratio, floor
+        }
+        if (!seen) {
+            print "bench_gate: FAIL: no pack_f32/pack_int8 rows in fresh memory output"
+            exit 1
+        }
+    }' || STATUS=1
 exit "$STATUS"

@@ -43,6 +43,25 @@ ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
 ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
     cargo test -q --offline -p entmatcher-core --test ann_recall
 
+# Quantized-storage test group, called out by name: the f16/int8 packed
+# operands carry bitwise scalar-vs-AVX2 identity claims and the snapshot
+# streaming path carries bitwise in-memory-equality claims, so the whole
+# group must hold identically under the degenerate execution config.
+echo "verify: quantized test group (defaults)"
+cargo test -q --offline -p entmatcher-linalg --lib quant
+cargo test -q --offline -p entmatcher-linalg --test quant_proptests
+cargo test -q --offline -p entmatcher-core --lib quantized
+cargo test -q --offline -p entmatcher-core --lib snapshot_streaming
+echo "verify: quantized test group (ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off)"
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-linalg --lib quant
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-linalg --test quant_proptests
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-core --lib quantized
+ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off \
+    cargo test -q --offline -p entmatcher-core --lib snapshot_streaming
+
 # Telemetry smoke test: run a small end-to-end match with --trace and
 # check the exported JSON parses and contains the pipeline stage spans.
 SMOKE=$(mktemp -d)
@@ -74,6 +93,56 @@ echo "$RENDERED_PAD" | grep -q "pad" || {
     exit 1
 }
 echo "verify: telemetry smoke test passed"
+
+# Quantized pipeline smoke: the same match at int8 with chunked snapshot
+# loading; the trace must carry the quant.pack span and the quantized
+# byte/chunk counters, and the predictions must stay non-empty.
+"$ENTMATCHER" match --data "$SMOKE/data" --embeddings "$SMOKE/emb" \
+    --algorithm csls --precision int8 --stream-chunk 64 \
+    --trace "$SMOKE/trace-int8.json" --out "$SMOKE/pairs-int8.tsv" >/dev/null
+[ -s "$SMOKE/pairs-int8.tsv" ] || {
+    echo "verify: int8 match produced no predictions" >&2
+    exit 1
+}
+for marker in "quant.pack" "quant.packed_bytes" "snapshot.stream.chunks"; do
+    grep -q "$marker" "$SMOKE/trace-int8.json" || {
+        echo "verify: $marker missing from int8 trace" >&2
+        exit 1
+    }
+done
+# And the quantized counters must reach the live /metrics exposition.
+ENTMATCHER_METRICS_LINGER_MS=15000 "$ENTMATCHER" match \
+    --data "$SMOKE/data" --embeddings "$SMOKE/emb" --algorithm csls \
+    --precision int8 --metrics 127.0.0.1:0 \
+    --out "$SMOKE/pairs-int8-metrics.tsv" \
+    >/dev/null 2>"$SMOKE/int8-metrics.err" &
+INT8_METRICS_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's#^metrics: serving http://\([^/]*\)/metrics$#\1#p' \
+        "$SMOKE/int8-metrics.err" 2>/dev/null || true)
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || {
+    echo "verify: int8 metrics server never announced its address" >&2
+    kill "$INT8_METRICS_PID" 2>/dev/null || true
+    exit 1
+}
+INT8_SCRAPE=""
+for _ in $(seq 1 100); do
+    INT8_SCRAPE=$(curl -sf "http://$ADDR/metrics" || true)
+    echo "$INT8_SCRAPE" | grep -q "entmatcher_quant_packed_bytes_total" && break
+    sleep 0.1
+done
+echo "$INT8_SCRAPE" | grep -q "entmatcher_quant_packed_bytes_total" || {
+    echo "verify: /metrics missing quant.packed_bytes counter" >&2
+    kill "$INT8_METRICS_PID" 2>/dev/null || true
+    exit 1
+}
+kill "$INT8_METRICS_PID" 2>/dev/null || true
+wait "$INT8_METRICS_PID" 2>/dev/null || true
+echo "verify: quantized pipeline smoke passed"
 
 # Flight-recorder smoke: serve live metrics from a match run on an
 # ephemeral port, scrape once, and check the exposition carries a known
