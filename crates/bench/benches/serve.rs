@@ -1,0 +1,265 @@
+//! Serving benchmark: queries/sec and tail latency for `MatchService`
+//! behind the real HTTP listener, at fixed client concurrency.
+//!
+//! The full-size configuration loads a 20k x 64 clustered pair, starts
+//! the service exactly as `entmatcher serve` does (normalized rows, warm
+//! packed operand, batching queue, real `MetricsServer` listener with the
+//! `/match/topk` route), and drives it with 8 client threads issuing
+//! sequential `POST /match/topk` requests over fresh TCP connections —
+//! each request is a full connect / request / parse round trip, so the
+//! measured numbers include the accept loop and HTTP glue, not just the
+//! GEMM. The query cache is disabled so every request exercises the
+//! batch worker; the artifact's `mean_batch` shows how much the queue
+//! coalesces under this load.
+//!
+//! `BENCH_serve.json` records qps plus exact p50/p99 latency (computed
+//! from the sorted per-request samples, not histogram buckets) and is
+//! gated by `scripts/bench_gate.sh`: >=20% qps regression or >=20% p99
+//! inflation against the committed baseline fails.
+//!
+//! Modes:
+//! * default — 20k entities, d = 64, 8 clients x 250 requests;
+//! * `ENTMATCHER_BENCH_QUICK=1` / `--test` / `--quick` — CI smoke: 2k
+//!   entities, 4 clients x 30 requests, artifact in the temp dir.
+//!
+//! Output path: `ENTMATCHER_SERVE_BENCH_OUT` if set; otherwise
+//! `BENCH_serve.json` in the workspace root (quick mode defaults into the
+//! temp dir so `cargo test` runs do not dirty the tree).
+
+use entmatcher_core::{MatchService, ServeConfig, TargetIndex};
+use entmatcher_data::{clustered_embeddings, EmbeddingSpec};
+use entmatcher_linalg::normalize_rows_l2;
+use entmatcher_support::json::{self, Json, Map};
+use entmatcher_support::telemetry;
+use entmatcher_support::telemetry::expose::{MetricsServer, Request, Response, Routes};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const K: usize = 10;
+
+/// One measured request round trip.
+struct Sample {
+    latency: Duration,
+    batch_size: u64,
+}
+
+/// POSTs one top-k query over a fresh connection and parses the reply.
+fn query(addr: &str, ids: &[u32], k: usize) -> Sample {
+    let id_list = ids
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let body = format!("{{\"ids\": [{id_list}], \"k\": {k}}}");
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr).expect("connect to serve listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set read timeout");
+    write!(
+        stream,
+        "POST /match/topk HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let latency = started.elapsed();
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "bad response: {response}"
+    );
+    let payload = response.split_once("\r\n\r\n").expect("body split").1;
+    let doc = Json::parse(payload).expect("response JSON");
+    let batch_size = doc
+        .get("batch_size")
+        .and_then(|v| v.as_f64())
+        .expect("batch_size field") as u64;
+    Sample {
+        latency,
+        batch_size,
+    }
+}
+
+/// Runs the fixed-concurrency load and returns (samples, wall seconds).
+fn drive(addr: &str, clients: usize, requests: usize, n_source: usize) -> (Vec<Sample>, f64) {
+    let started = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.to_string();
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(requests);
+                    for r in 0..requests {
+                        // Distinct id pairs per request; the cache is off,
+                        // so this just spreads the query rows around.
+                        let a = ((c * requests + r) * 7919) % n_source;
+                        let b = (a + 13) % n_source;
+                        out.push(query(&addr, &[a as u32, b as u32], K));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    (samples, started.elapsed().as_secs_f64())
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = std::env::var("ENTMATCHER_BENCH_QUICK").ok().as_deref() == Some("1")
+        || args.iter().any(|a| a == "--test" || a == "--quick");
+
+    let out_path = std::env::var("ENTMATCHER_SERVE_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            if quick {
+                std::env::temp_dir().join("BENCH_serve.json")
+            } else {
+                let root = std::env::var("CARGO_MANIFEST_DIR")
+                    .map(|p| {
+                        std::path::Path::new(&p)
+                            .ancestors()
+                            .nth(2)
+                            .expect("workspace root")
+                            .to_path_buf()
+                    })
+                    .unwrap_or_else(|_| std::path::PathBuf::from("."));
+                root.join("BENCH_serve.json")
+            }
+        });
+
+    let (entities, dim, clusters, clients, requests) = if quick {
+        (2000, 32, 50, 4, 30)
+    } else {
+        (20_000, 64, 200, 8, 250)
+    };
+
+    eprintln!("serve: generating {entities} x {dim} clustered pair ({clusters} clusters)...");
+    let pair = clustered_embeddings(&EmbeddingSpec {
+        entities,
+        dim,
+        clusters,
+        spread: 0.25,
+        noise: 0.05,
+        seed: 0x5E12,
+    });
+    let (mut source, mut target) = (pair.source, pair.target);
+    normalize_rows_l2(&mut source);
+    normalize_rows_l2(&mut target);
+    let n_source = source.rows();
+
+    // Cache off: every request must cross the batching queue and the
+    // fused pass, so qps/p99 measure the serving stack, not replay.
+    let cfg = ServeConfig {
+        cache_capacity: 0,
+        batch_wait: Duration::from_micros(200),
+        ..ServeConfig::default()
+    };
+    let service =
+        Arc::new(MatchService::start(source, TargetIndex::Matrix(target), cfg).expect("service"));
+    let routes = Routes {
+        paths: vec!["/match/topk".into()],
+        handler: {
+            let service = Arc::clone(&service);
+            Arc::new(move |req: &Request| -> Option<Response> {
+                (req.method == "POST" && req.path == "/match/topk")
+                    .then(|| service.handle_topk(&req.body))
+            })
+        },
+    };
+    let server = MetricsServer::start_with_routes(
+        telemetry::global(),
+        "127.0.0.1:0",
+        Duration::from_millis(250),
+        Some(routes),
+    )
+    .expect("bind serve listener");
+    let addr = server.addr().to_string();
+    eprintln!("serve: listening on {addr}, warming up...");
+
+    // Warmup: fill the pool and fault in the packed operand.
+    for w in 0..8 {
+        let _ = query(&addr, &[w as u32], K);
+    }
+
+    eprintln!("serve: driving {clients} clients x {requests} requests (k={K})...");
+    let (mut samples, wall_seconds) = drive(&addr, clients, requests, n_source);
+    let total = samples.len();
+    let qps = total as f64 / wall_seconds;
+    let mean_batch =
+        samples.iter().map(|s| s.batch_size as f64).sum::<f64>() / total as f64;
+    samples.sort_by_key(|s| s.latency);
+    let sorted: Vec<Duration> = samples.iter().map(|s| s.latency).collect();
+    let p50_ms = percentile_ms(&sorted, 0.50);
+    let p99_ms = percentile_ms(&sorted, 0.99);
+    eprintln!(
+        "serve: {total} requests in {wall_seconds:.2}s = {qps:.0} qps, \
+         p50 {p50_ms:.2}ms p99 {p99_ms:.2}ms, mean batch {mean_batch:.1}"
+    );
+
+    server.shutdown();
+    service.stop();
+
+    let mut doc = Map::new();
+    doc.insert("schema", "entmatcher/serve-bench/v1");
+    doc.insert(
+        "note",
+        "qps over full HTTP round trips at fixed concurrency; p50/p99 from sorted samples; cache off",
+    );
+    doc.insert("n", entities);
+    doc.insert("d", dim);
+    doc.insert("k", K);
+    doc.insert("clients", clients);
+    doc.insert("requests", total);
+    doc.insert("wall_seconds", wall_seconds);
+    doc.insert("qps", qps);
+    doc.insert("p50_ms", p50_ms);
+    doc.insert("p99_ms", p99_ms);
+    doc.insert("mean_batch", mean_batch);
+    doc.insert(
+        "threads",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    );
+    doc.insert("pool_width", entmatcher_linalg::parallel::workers());
+    doc.insert("simd", entmatcher_linalg::simd::active().name());
+    doc.insert("quick", quick);
+    let text = Json::Obj(doc).pretty();
+    std::fs::write(&out_path, &text).expect("write BENCH_serve.json");
+
+    // Self-check: parse back and demand finite, sane numbers. Absolute
+    // thresholds live in bench_gate.sh against the committed baseline.
+    let parsed = json::Json::parse(&text).expect("BENCH_serve.json must parse");
+    let qps_back = parsed.get("qps").and_then(|v| v.as_f64()).expect("qps");
+    let p99_back = parsed.get("p99_ms").and_then(|v| v.as_f64()).expect("p99_ms");
+    let p50_back = parsed.get("p50_ms").and_then(|v| v.as_f64()).expect("p50_ms");
+    assert!(qps_back.is_finite() && qps_back > 0.0, "self-check: bad qps {qps_back}");
+    assert!(
+        p99_back.is_finite() && p99_back >= p50_back && p50_back > 0.0,
+        "self-check: bad latency quantiles p50={p50_back} p99={p99_back}"
+    );
+    let batch_back = parsed
+        .get("mean_batch")
+        .and_then(|v| v.as_f64())
+        .expect("mean_batch");
+    assert!(
+        batch_back >= 1.0,
+        "self-check: every served request sits in a batch of >= 1, got {batch_back}"
+    );
+    println!(
+        "serve bench: wrote {} ({total} requests, {qps:.0} qps, self-check ok)",
+        out_path.display()
+    );
+}

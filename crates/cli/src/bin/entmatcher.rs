@@ -30,11 +30,48 @@ fn main() {
             }
         }
     }
+    dump_env_switches();
     match result {
         Ok(report) => println!("{report}"),
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// With `ENTMATCHER_ENV_DUMP=1`, prints every recognized `ENTMATCHER_*`
+/// switch and its effective state to stderr at exit — the debugging aid
+/// for "why did this run behave as if X were (not) set". The shared
+/// convention, applied here and by every reader: unset, empty,
+/// whitespace-only, and `0` all mean *disabled*.
+fn dump_env_switches() {
+    let dump = std::env::var("ENTMATCHER_ENV_DUMP")
+        .map(|v| !matches!(v.trim(), "" | "0"))
+        .unwrap_or(false);
+    if !dump {
+        return;
+    }
+    const SWITCHES: &[(&str, &str)] = &[
+        ("ENTMATCHER_TRACE", "record telemetry; a path dumps it at exit"),
+        ("ENTMATCHER_TRACE_FORMAT", "trace export format (chrome|native)"),
+        ("ENTMATCHER_METRICS_ADDR", "serve /metrics on this address"),
+        ("ENTMATCHER_METRICS_LINGER_MS", "keep /metrics up after the command"),
+        ("ENTMATCHER_PROFILE_HZ", "--profile sampling rate"),
+        ("ENTMATCHER_MEM", "counting allocator + measured heap spans"),
+        ("ENTMATCHER_MEM_SAMPLE", "--mem-profile sampling rate (1/N)"),
+        ("ENTMATCHER_SLOW_MS", "serve: slow-query log threshold (ms)"),
+        ("ENTMATCHER_THREADS", "worker-pool size override"),
+        ("ENTMATCHER_SIMD", "SIMD kernel dispatch (off disables)"),
+        ("ENTMATCHER_ENV_DUMP", "this dump"),
+    ];
+    eprintln!("env: recognized switches (unset / empty / 0 = disabled):");
+    for (name, what) in SWITCHES {
+        let state = match std::env::var(name) {
+            Ok(v) if matches!(v.trim(), "" | "0") => format!("{v:?} (disabled)"),
+            Ok(v) => format!("{v:?}"),
+            Err(_) => "<unset> (disabled)".to_owned(),
+        };
+        eprintln!("env:   {name}={state}  -- {what}");
     }
 }

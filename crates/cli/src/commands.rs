@@ -178,6 +178,7 @@ fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "encode" => cmd_encode(args),
         "match" => cmd_match(args),
         "eval" => cmd_eval(args),
+        "serve" => cmd_serve(args),
         "trace" => cmd_trace(args),
         "help" | "--help" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -361,6 +362,29 @@ fn algorithm_preset(name: &str) -> Result<AlgorithmPreset, CliError> {
     })
 }
 
+/// Parses `--precision` (default f32).
+fn parse_precision(args: &ParsedArgs) -> Result<Precision, CliError> {
+    match args.get("precision") {
+        None => Ok(Precision::F32),
+        Some(name) => Precision::parse(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown precision {name:?}: expected f32, f16 or int8"
+            ))
+        }),
+    }
+}
+
+/// Parses `--stream-chunk` (0 = load resident, the default).
+fn parse_stream_chunk(args: &ParsedArgs) -> Result<usize, CliError> {
+    let stream_chunk = args.get_u64("stream-chunk", 0)? as usize;
+    if args.get("stream-chunk").is_some() && stream_chunk == 0 {
+        return Err(CliError::Usage(
+            "--stream-chunk must be a positive row count".to_owned(),
+        ));
+    }
+    Ok(stream_chunk)
+}
+
 fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
     let dir = Path::new(args.require("data")?);
     let emb_dir = Path::new(args.require("embeddings")?);
@@ -370,20 +394,8 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
     // any I/O: a typo'd flag should be a usage error, not a mid-run
     // failure after loading the dataset.
     let shortlist_k = args.get_u64("shortlist", 32)?.max(1) as usize;
-    let precision = match args.get("precision") {
-        None => Precision::F32,
-        Some(name) => Precision::parse(name).ok_or_else(|| {
-            CliError::Usage(format!(
-                "unknown precision {name:?}: expected f32, f16 or int8"
-            ))
-        })?,
-    };
-    let stream_chunk = args.get_u64("stream-chunk", 0)? as usize;
-    if args.get("stream-chunk").is_some() && stream_chunk == 0 {
-        return Err(CliError::Usage(
-            "--stream-chunk must be a positive row count".to_owned(),
-        ));
-    }
+    let precision = parse_precision(args)?;
+    let stream_chunk = parse_stream_chunk(args)?;
     let strategy = match args.get("candidates").unwrap_or("exact") {
         "exact" => None,
         "lsh" => Some(CandidateStrategy::Lsh(LshBlocker::default())),
@@ -447,6 +459,159 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
         report.elapsed.as_secs_f64(),
         report.peak_aux_bytes as f64 / 1e6,
         out.display()
+    ))
+}
+
+/// `entmatcher serve`: an observability-first online matching service.
+///
+/// Loads an embedding snapshot into a warm [`MatchService`] (packed at
+/// `--precision`, optionally behind an IVF index with `--candidates ivf`)
+/// and serves `POST /match/topk` on the exposition listener next to the
+/// built-in `GET /metrics` and `GET /healthz`, so one scrape target covers
+/// queries and their SLO metrics. Concurrent requests coalesce in the
+/// service's batching queue into single fused-GEMM passes; a bounded LRU
+/// cache (`--cache`) short-circuits repeats.
+///
+/// Observability wiring:
+/// - with `--trace FILE`, every request records a `serve.request` span
+///   tree tagged with its `req_id` (exported by the surrounding
+///   [`run_command`] after `POST /shutdown` ends the command);
+/// - every handled endpoint observes a
+///   `request_seconds{endpoint="..."}` histogram, rendered on `/metrics`
+///   as the `entmatcher_request_seconds` family next to the service's
+///   `serve.*` gauges and counters;
+/// - `ENTMATCHER_SLOW_MS=N` logs requests slower than N ms as one JSON
+///   line on stderr (`0`/empty disables, the shared convention).
+///
+/// The command blocks until `POST /shutdown` (so `--trace` snapshots a
+/// complete run) and prints the bound address to stderr at startup
+/// (`--addr`, port 0 picks an ephemeral port).
+///
+/// [`MatchService`]: entmatcher_core::MatchService
+fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
+    use entmatcher_core::{MatchService, ServeConfig, TargetIndex};
+    use entmatcher_support::telemetry::expose::{MetricsServer, Request, Response, Routes};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    let emb_dir = Path::new(args.require("embeddings")?);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_owned();
+    let precision = parse_precision(args)?;
+    let stream_chunk = parse_stream_chunk(args)?;
+    let ivf = match args.get("candidates").unwrap_or("exact") {
+        "exact" => None,
+        "ivf" => Some(IvfParams {
+            nlist: args.get_u64("nlist", 0)? as usize,
+            nprobe: args.get_u64("nprobe", 0)? as usize,
+            ..IvfParams::default()
+        }),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown candidate strategy {other:?}: expected exact or ivf"
+            )))
+        }
+    };
+    let use_ivf = ivf.is_some();
+    let cfg = ServeConfig {
+        precision,
+        ivf,
+        nprobe: args.get_u64("nprobe", 0)? as usize,
+        cache_capacity: args.get_u64("cache", 1024)? as usize,
+        batch_max: args.get_u64("batch-max", 64)?.max(1) as usize,
+        batch_wait: Duration::from_micros(args.get_u64("batch-wait-us", 500)?),
+        k_max: args.get_u64("k-max", 1024)?.max(1) as usize,
+        slow_ms: entmatcher_core::serve::env_slow_ms(),
+        record_spans: args.get("trace").is_some(),
+    };
+
+    let mut emb = load_embeddings(emb_dir, stream_chunk)?;
+    // The service scores raw dot products (the `linalg::fused`
+    // convention); normalizing both sides once at load time makes every
+    // served score a cosine similarity.
+    entmatcher_linalg::normalize_rows_l2(&mut emb.source);
+    entmatcher_linalg::normalize_rows_l2(&mut emb.target);
+    let (n_source, n_targets, dim) = (emb.source.rows(), emb.target.rows(), emb.dim());
+
+    // Serving *is* the observability surface: counters, gauges, and the
+    // request_seconds histograms must land on /metrics even without
+    // --trace (which additionally turns on per-request span trees).
+    telemetry::set_enabled(true);
+    let service = MatchService::start(emb.source, TargetIndex::Matrix(emb.target), cfg)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let service = Arc::new(service);
+
+    let shutdown = Arc::new((Mutex::new(false), Condvar::new()));
+    let handler = {
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        move |req: &Request| -> Option<Response> {
+            let started = Instant::now();
+            let resp = match (req.method.as_str(), req.path.as_str()) {
+                ("POST", "/match/topk") => Some(service.handle_topk(&req.body)),
+                ("POST", "/shutdown") => {
+                    let (flag, cv) = &*shutdown;
+                    *flag.lock().expect("shutdown lock poisoned") = true;
+                    cv.notify_all();
+                    Some(Response {
+                        status: "200 OK",
+                        content_type: "text/plain",
+                        body: "shutting down\n".into(),
+                    })
+                }
+                // Intercept the built-in health check so it is timed like
+                // every other endpoint; the body matches the built-in's.
+                ("GET", "/healthz") => Some(Response {
+                    status: "200 OK",
+                    content_type: "text/plain",
+                    body: "ok\n".into(),
+                }),
+                _ => None,
+            };
+            if resp.is_some() {
+                telemetry::observe(
+                    &telemetry::labeled("request_seconds", "endpoint", &req.path),
+                    started.elapsed().as_secs_f64(),
+                );
+            }
+            resp
+        }
+    };
+    let routes = Routes {
+        paths: vec!["/match/topk".into(), "/shutdown".into()],
+        handler: Arc::new(handler),
+    };
+    let server = MetricsServer::start_with_routes(
+        telemetry::global(),
+        &addr,
+        Duration::from_millis(250),
+        Some(routes),
+    )
+    .map_err(|e| CliError::Failed(format!("serve --addr {addr}: {e}")))?;
+    let bound = server.addr();
+    eprintln!(
+        "serve: listening http://{bound} ({n_source} source x {n_targets} target rows, dim {dim}, \
+         {}{})",
+        precision.name(),
+        if use_ivf { ", ivf" } else { "" }
+    );
+
+    // Block until POST /shutdown; run_command then writes the --trace
+    // export, so the trace covers the whole serving window.
+    {
+        let (flag, cv) = &*shutdown;
+        let mut done = flag.lock().expect("shutdown lock poisoned");
+        while !*done {
+            done = cv.wait(done).expect("shutdown lock poisoned");
+        }
+    }
+    // Let the /shutdown connection thread flush its response before the
+    // listener goes away.
+    std::thread::sleep(Duration::from_millis(50));
+    service.stop();
+    server.shutdown();
+    Ok(format!(
+        "serve: shut down http://{bound} ({} cached top-k entries)",
+        service.cache_len()
     ))
 }
 

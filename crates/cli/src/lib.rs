@@ -66,6 +66,23 @@ commands:
             load-time auxiliary memory by the chunk instead of the file.
   eval      --data DIR --pairs FILE
             Score predicted pairs against the gold test links.
+  serve     --embeddings DIR [--addr HOST:PORT] [--precision <f32|f16|int8>]
+            [--candidates <exact|ivf>] [--nlist N] [--nprobe N]
+            [--stream-chunk ROWS] [--cache N] [--batch-max N]
+            [--batch-wait-us USEC] [--k-max N] [--trace FILE]
+            Serve online top-k matching over HTTP: POST /match/topk
+            (JSON {\"ids\": [..]} or {\"queries\": [[..]]} plus \"k\")
+            shares one listener with GET /metrics and GET /healthz.
+            Concurrent requests coalesce into single fused-GEMM passes
+            (up to --batch-max per pass, lingering --batch-wait-us);
+            --cache bounds the LRU top-k cache (0 disables). Rows are
+            L2-normalized at load, so scores are cosine similarities.
+            Every response carries a req_id; with --trace each request
+            records a serve.request span tree tagged with it, and
+            ENTMATCHER_SLOW_MS=N logs slower requests as JSON lines on
+            stderr. POST /shutdown stops the server (and flushes the
+            --trace export). --addr defaults to 127.0.0.1:0; the bound
+            address prints to stderr.
   trace     --file FILE [--chrome OUT.json]
             Render an exported JSON trace as an indented span tree with
             counters and histogram quantiles, or convert it to Chrome
@@ -104,4 +121,7 @@ observability:
   allocator, `match` reports its measured peak next to the modeled one,
   and /metrics exports live heap gauges. Off (the default), the
   allocator counts nothing and writes no counters at all.
+  ENTMATCHER_ENV_DUMP=1 prints every recognized ENTMATCHER_* switch and
+  its value to stderr at exit (unset / empty / 0 all mean disabled —
+  the shared convention across all switches).
 ";

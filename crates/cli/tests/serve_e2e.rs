@@ -1,0 +1,257 @@
+//! End-to-end test of `entmatcher serve` against the real binary: spawn
+//! the server, fire overlapping top-k requests from several client
+//! threads, and check the observability contract — coalesced batches,
+//! per-request span trees keyed by the returned `req_id`, cache hits
+//! skipping the probe, and the `/metrics` serving families.
+
+use entmatcher_support::json::Json;
+use entmatcher_support::telemetry::Trace;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_entmatcher");
+
+/// Generates a tiny dataset and name embeddings in-process and returns
+/// (root, embeddings dir).
+fn setup(tag: &str) -> (PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join(format!("entmatcher-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let data = root.join("data");
+    let emb = root.join("emb");
+    let run = |parts: &[&str]| {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        entmatcher_cli::run(&argv).unwrap()
+    };
+    run(&[
+        "generate",
+        "--preset",
+        "S-W",
+        "--scale",
+        "0.02",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+    run(&[
+        "encode",
+        "--data",
+        data.to_str().unwrap(),
+        "--encoder",
+        "name",
+        "--out",
+        emb.to_str().unwrap(),
+    ]);
+    (root, emb)
+}
+
+/// One HTTP request against the server; returns the raw response text.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to serve listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+/// Parses the body of a 200 JSON response.
+fn json_body(response: &str) -> Json {
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "expected 200: {response}"
+    );
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("header/body split")
+        .1;
+    Json::parse(body).expect("response body is JSON")
+}
+
+/// Spawns `entmatcher serve` and waits for its announce line.
+fn spawn_serve(emb: &std::path::Path, extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--embeddings", emb.to_str().unwrap()])
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn entmatcher serve");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut addr = None;
+    let mut line = String::new();
+    while stderr.read_line(&mut line).unwrap() > 0 {
+        if let Some(rest) = line.trim().strip_prefix("serve: listening http://") {
+            addr = Some(rest.split_whitespace().next().unwrap().to_string());
+            break;
+        }
+        line.clear();
+    }
+    (child, addr.expect("serve announce line on stderr"))
+}
+
+#[test]
+fn serve_coalesces_traces_and_caches() {
+    let (root, emb) = setup("e2e");
+    let trace_path = root.join("trace.json");
+    // A long batch linger so the overlapping client threads land in one
+    // fused pass instead of racing the worker one by one.
+    let (mut child, addr) = spawn_serve(
+        &emb,
+        &[
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--batch-wait-us",
+            "100000",
+            "--batch-max",
+            "16",
+        ],
+    );
+
+    // Overlapping requests: distinct ids, so every one is a cache miss
+    // that must go through the batch worker.
+    let n_clients = 6;
+    let outcomes: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|i| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let body = format!("{{\"ids\": [{i}], \"k\": 3}}");
+                    let doc = json_body(&http(&addr, "POST", "/match/topk", &body));
+                    let req_id = doc["req_id"].as_f64().unwrap() as u64;
+                    let batch = doc["batch_size"].as_f64().unwrap() as u64;
+                    assert_eq!(doc["cached"][0].as_bool(), Some(false));
+                    let top = doc["results"][0].as_array().unwrap();
+                    assert_eq!(top.len(), 3, "k=3 results");
+                    (req_id, batch)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let max_batch = outcomes.iter().map(|&(_, b)| b).max().unwrap();
+    assert!(
+        max_batch > 1,
+        "overlapping requests must coalesce: batch sizes {:?}",
+        outcomes.iter().map(|&(_, b)| b).collect::<Vec<_>>()
+    );
+
+    // A repeat of the first query must be served from the cache.
+    let doc = json_body(&http(&addr, "POST", "/match/topk", "{\"ids\": [0], \"k\": 3}"));
+    assert_eq!(doc["cached"][0].as_bool(), Some(true), "repeat query cached");
+    assert_eq!(doc["batch_size"].as_f64(), Some(0.0));
+    let cached_req = doc["req_id"].as_f64().unwrap() as u64;
+
+    // Malformed bodies are a 400, not a dead connection.
+    let bad = http(&addr, "POST", "/match/topk", "{\"k\": 3}");
+    assert!(bad.starts_with("HTTP/1.1 400"), "bad body: {bad}");
+
+    // /metrics carries the serving families: the per-endpoint latency
+    // histogram and the serve.* counters/gauges (poll: the publisher
+    // re-renders every 250 ms).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut metrics;
+    loop {
+        metrics = http(&addr, "GET", "/metrics", "");
+        if metrics.contains("entmatcher_request_seconds_count")
+            || std::time::Instant::now() > deadline
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(
+        metrics.contains("entmatcher_request_seconds_count{endpoint=\"/match/topk\"}"),
+        "missing endpoint histogram: {metrics}"
+    );
+    assert!(metrics.contains("entmatcher_serve_requests_total"));
+    assert!(metrics.contains("entmatcher_serve_batches_total"));
+    assert!(
+        metrics.contains("# TYPE entmatcher_serve_cache_hit_ratio gauge"),
+        "cache hit ratio gauge missing: {metrics}"
+    );
+    let health = http(&addr, "GET", "/healthz", "");
+    assert!(health.starts_with("HTTP/1.1 200 OK") && health.ends_with("ok\n"));
+
+    // Shut down; run_command then writes the trace export.
+    let down = http(&addr, "POST", "/shutdown", "");
+    assert!(down.starts_with("HTTP/1.1 200 OK"), "shutdown: {down}");
+    let status = child.wait().expect("serve exits after /shutdown");
+    assert!(status.success(), "serve run failed");
+
+    // Every response's req_id appears as a serve.request span tree in the
+    // exported trace; the cached request has no probe span.
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let trace: Trace = entmatcher_support::json::from_str(&text).expect("trace parses");
+    for &(req_id, _) in &outcomes {
+        let spans = trace.spans_for_request(req_id);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        for need in ["serve.request", "serve.queue", "serve.batch", "serve.probe"] {
+            assert!(names.contains(&need), "req {req_id} missing {need}: {names:?}");
+        }
+        let root_span = spans
+            .iter()
+            .find(|s| s.name == "serve.request")
+            .expect("root span");
+        assert!(
+            spans
+                .iter()
+                .filter(|s| matches!(s.name.as_str(), "serve.queue" | "serve.batch"))
+                .all(|s| s.parent == Some(root_span.id)),
+            "stage spans must hang off the request root"
+        );
+    }
+    let cached_names: Vec<&str> = trace
+        .spans_for_request(cached_req)
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
+    assert!(cached_names.contains(&"serve.request"));
+    assert!(
+        !cached_names.contains(&"serve.probe"),
+        "cache hit must skip the probe: {cached_names:?}"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Quantized + IVF serving end to end: the self-match still ranks first
+/// and the server answers id- and row-queries consistently.
+#[test]
+fn serve_ivf_int8_answers_queries() {
+    let (root, emb) = setup("ivf");
+    let (mut child, addr) = spawn_serve(
+        &emb,
+        &["--precision", "int8", "--candidates", "ivf", "--nprobe", "4"],
+    );
+    // Source and target are distinct id spaces; what the name encoder
+    // guarantees is that source 7's aligned counterpart shares its name,
+    // so the rank-1 cosine must stay near 1 even through int8 + IVF, and
+    // the list must come back sorted.
+    let doc = json_body(&http(&addr, "POST", "/match/topk", "{\"ids\": [7], \"k\": 5}"));
+    let top = doc["results"][0].as_array().unwrap();
+    assert_eq!(top.len(), 5);
+    let scores: Vec<f64> = top.iter().map(|hit| hit["score"].as_f64().unwrap()).collect();
+    assert!(
+        scores[0] > 0.95,
+        "rank-1 cosine must stay near 1 under ivf+int8: {scores:?}"
+    );
+    assert!(
+        scores.windows(2).all(|w| w[0] >= w[1]),
+        "results must be sorted best-first: {scores:?}"
+    );
+    let down = http(&addr, "POST", "/shutdown", "");
+    assert!(down.starts_with("HTTP/1.1 200 OK"));
+    assert!(child.wait().unwrap().success());
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -38,6 +38,7 @@ pub mod error;
 pub mod matching;
 pub mod pipeline;
 pub mod score;
+pub mod serve;
 pub mod similarity;
 pub mod spec;
 pub mod streaming;
@@ -52,6 +53,7 @@ pub use matching::{greedy::Greedy, hungarian::Hungarian, rl::RlMatcher, stable::
 pub use matching::{MatchContext, Matcher, Matching};
 pub use pipeline::{CandidateStrategy, ExecutionReport, MatchPipeline};
 pub use score::csls::Gid;
+pub use serve::{MatchService, Query, ServeConfig, TargetIndex, TopKResult};
 pub use score::{
     csls::Csls, rinf::RInf, rinf::RInfProgressive, sinkhorn::Sinkhorn, NoOp, ScoreOptimizer,
 };

@@ -98,10 +98,12 @@ use std::time::{Duration, Instant};
 /// Wire-format version stamped into every exported trace document.
 ///
 /// v2 added `tid` to span records and `finite_count` to histograms; v3
-/// added the measured `heap_allocated` / `heap_live_peak` span fields.
+/// added the measured `heap_allocated` / `heap_live_peak` span fields; v4
+/// added first-class gauges and the per-span `req` request-lane field.
 /// The parser accepts older documents by defaulting `tid` to 0,
-/// `finite_count` to `count`, and the heap fields to 0.
-pub const TRACE_VERSION: u64 = 3;
+/// `finite_count` to `count`, the heap fields to 0, `req` to 0, and
+/// `gauges` to empty.
+pub const TRACE_VERSION: u64 = 4;
 
 /// Histogram bucket index for samples that have no binary exponent
 /// (zero, negative, or NaN inputs).
@@ -127,6 +129,7 @@ struct State {
     next_span_id: u64,
     spans: Vec<SpanRecord>,
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Hist>,
     // Per-thread-lane stacks of currently-open spans `(id, name)`, the
     // view the sampling profiler reads. Maintained only while recording
@@ -246,9 +249,62 @@ impl Telemetry {
                 start_ns: self.epoch.elapsed().as_nanos() as u64,
                 bytes: 0,
                 tid,
+                req: 0,
                 heap,
             }),
         }
+    }
+
+    /// Nanoseconds elapsed since this registry's epoch — the clock all
+    /// span `start_ns` offsets are measured against. Lets callers that
+    /// measure an interval across threads (e.g. queue wait between a
+    /// connection thread and a batch worker) record it with
+    /// [`Telemetry::record_span`] on the same timeline.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records a completed span directly, without a guard.
+    ///
+    /// For intervals that cannot be an RAII scope on one thread: the
+    /// interval is measured elsewhere (via [`Telemetry::now_ns`]) and its
+    /// parent is named explicitly instead of inferred from the calling
+    /// thread's open-span stack. Used by the serving layer to attach
+    /// `serve.queue` / `serve.batch` / `serve.probe` children recorded on
+    /// the batch worker to the request's root span opened on the
+    /// connection thread. Returns the new span id, or `None` when
+    /// recording is off.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &self,
+        name: &str,
+        parent: Option<u64>,
+        req: u64,
+        start_ns: u64,
+        duration_ns: u64,
+        heap_allocated: u64,
+        heap_live_peak: u64,
+    ) -> Option<u64> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let tid = thread_lane();
+        let mut state = self.state.lock().expect("telemetry lock poisoned");
+        state.next_span_id += 1;
+        let id = state.next_span_id;
+        state.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_owned(),
+            start_ns,
+            duration_ns,
+            bytes: 0,
+            tid,
+            req,
+            heap_allocated,
+            heap_live_peak,
+        });
+        Some(id)
     }
 
     /// Increments counter `name` by `delta`.
@@ -261,6 +317,22 @@ impl Telemetry {
             *slot += delta;
         } else {
             state.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Sets gauge `name` to `value` — a point-in-time level (queue depth,
+    /// in-flight requests, cache hit ratio, resident memory), as opposed
+    /// to the monotonic counters. Last write wins; `/metrics` renders
+    /// gauges with `# TYPE ... gauge`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry lock poisoned");
+        if let Some(slot) = state.gauges.get_mut(name) {
+            *slot = value;
+        } else {
+            state.gauges.insert(name.to_owned(), value);
         }
     }
 
@@ -303,6 +375,14 @@ impl Telemetry {
                 .counters
                 .iter()
                 .map(|(name, &value)| Counter {
+                    name: name.clone(),
+                    value,
+                })
+                .collect(),
+            gauges: state
+                .gauges
+                .iter()
+                .map(|(name, &value)| Gauge {
                     name: name.clone(),
                     value,
                 })
@@ -365,6 +445,7 @@ impl Telemetry {
             duration_ns: duration.as_nanos() as u64,
             bytes: open.bytes,
             tid: open.tid,
+            req: open.req,
             heap_allocated,
             heap_live_peak,
         };
@@ -402,6 +483,7 @@ struct OpenSpan {
     start_ns: u64,
     bytes: u64,
     tid: u64,
+    req: u64,
     heap: Option<crate::alloc::HeapScope>,
 }
 
@@ -424,6 +506,16 @@ impl SpanGuard<'_> {
     /// The span id, when recording (stable within one registry).
     pub fn id(&self) -> Option<u64> {
         self.open.as_ref().map(|o| o.id)
+    }
+
+    /// Tags this span (and, by convention, its subtree) with a request
+    /// lane id. 0 — the default — means "not request-scoped"; the serving
+    /// layer stamps each root `serve.request` span with the `req_id` it
+    /// returns to the client so traces are selectable by request.
+    pub fn set_req(&mut self, req: u64) {
+        if let Some(open) = &mut self.open {
+            open.req = req;
+        }
     }
 
     /// Measured bytes the opening thread has allocated under this span so
@@ -525,6 +617,30 @@ pub fn observe(name: &str, value: f64) {
     global().observe(name, value)
 }
 
+/// Sets a global gauge.
+pub fn set_gauge(name: &str, value: f64) {
+    global().set_gauge(name, value)
+}
+
+/// Builds a labeled metric name, `base{key="value"}` — the registry's
+/// convention for one-label metric families. The exposition layer splits
+/// the name at the first `{`, declares one `# TYPE` per base family, and
+/// merges the label block into each rendered sample (for histograms,
+/// alongside the `le` bucket label). Quotes and backslashes in `value`
+/// are escaped per the Prometheus text format.
+pub fn labeled(base: &str, key: &str, value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            _ => escaped.push(c),
+        }
+    }
+    format!("{base}{{{key}=\"{escaped}\"}}")
+}
+
 /// Snapshots the global registry.
 pub fn snapshot() -> Trace {
     global().snapshot()
@@ -558,6 +674,10 @@ pub struct SpanRecord {
     /// Thread lane the span was opened on (see [`thread_lane`]); 0 in
     /// traces written before wire version 2.
     pub tid: u64,
+    /// Request lane: the serving-layer `req_id` this span belongs to, 0
+    /// for spans that are not request-scoped and in traces written before
+    /// wire version 4.
+    pub req: u64,
     /// *Measured* bytes the opening thread allocated while the span was
     /// open (counting allocator, `ENTMATCHER_MEM`); 0 when counting was
     /// off and in traces written before wire version 3.
@@ -576,12 +696,13 @@ crate::impl_json_struct!(to_only SpanRecord {
     duration_ns,
     bytes,
     tid,
+    req,
     heap_allocated,
     heap_live_peak,
 });
 
-// Hand-written so v1 traces (no `tid`) and v1/v2 traces (no measured heap
-// fields) still parse.
+// Hand-written so v1 traces (no `tid`), v1/v2 traces (no measured heap
+// fields), and v1–v3 traces (no `req`) still parse.
 impl crate::json::FromJson for SpanRecord {
     fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
         Ok(SpanRecord {
@@ -592,6 +713,7 @@ impl crate::json::FromJson for SpanRecord {
             duration_ns: v.field("duration_ns")?,
             bytes: v.field("bytes")?,
             tid: v.field::<Option<u64>>("tid")?.unwrap_or(0),
+            req: v.field::<Option<u64>>("req")?.unwrap_or(0),
             heap_allocated: v.field::<Option<u64>>("heap_allocated")?.unwrap_or(0),
             heap_live_peak: v.field::<Option<u64>>("heap_live_peak")?.unwrap_or(0),
         })
@@ -615,6 +737,17 @@ pub struct Counter {
 }
 
 crate::impl_json_struct!(Counter { name, value });
+
+/// One named gauge: a point-in-time level, last write wins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gauge {
+    /// Gauge name (e.g. `"serve.queue_depth"`, `"process.rss_bytes"`).
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+crate::impl_json_struct!(Gauge { name, value });
 
 /// One log-scale histogram: power-of-two buckets plus exact summary stats.
 #[derive(Debug, Clone, PartialEq)]
@@ -745,16 +878,33 @@ pub struct Trace {
     pub spans: Vec<SpanRecord>,
     /// Counters, sorted by name.
     pub counters: Vec<Counter>,
+    /// Gauges, sorted by name. Empty in traces written before wire
+    /// version 4.
+    pub gauges: Vec<Gauge>,
     /// Histograms, sorted by name.
     pub histograms: Vec<Histogram>,
 }
 
-crate::impl_json_struct!(Trace {
+crate::impl_json_struct!(to_only Trace {
     version,
     spans,
     counters,
+    gauges,
     histograms,
 });
+
+// Hand-written so v1–v3 traces (no `gauges` table) still parse.
+impl crate::json::FromJson for Trace {
+    fn from_json(v: &crate::json::Json) -> Result<Self, crate::json::JsonError> {
+        Ok(Trace {
+            version: v.field("version")?,
+            spans: v.field("spans")?,
+            counters: v.field("counters")?,
+            gauges: v.field::<Option<Vec<Gauge>>>("gauges")?.unwrap_or_default(),
+            histograms: v.field("histograms")?,
+        })
+    }
+}
 
 impl Trace {
     /// First span with the given name, if any.
@@ -788,6 +938,16 @@ impl Trace {
             .map(|c| c.value)
     }
 
+    /// Last value of a gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// All spans tagged with request lane `req` (see [`SpanRecord::req`]).
+    pub fn spans_for_request(&self, req: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.req == req).collect()
+    }
+
     /// A histogram by name, if recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.iter().find(|h| h.name == name)
@@ -800,10 +960,11 @@ impl Trace {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "trace v{}: {} spans, {} counters, {} histograms",
+            "trace v{}: {} spans, {} counters, {} gauges, {} histograms",
             self.version,
             self.spans.len(),
             self.counters.len(),
+            self.gauges.len(),
             self.histograms.len()
         );
         // Pre-sort children by start offset for a stable, readable tree.
@@ -839,6 +1000,12 @@ impl Trace {
             let _ = writeln!(out, "counters:");
             for c in &self.counters {
                 let _ = writeln!(out, "  {} = {}", c.name, c.value);
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for g in &self.gauges {
+                let _ = writeln!(out, "  {} = {}", g.name, g.value);
             }
         }
         if !self.histograms.is_empty() {
@@ -1083,6 +1250,87 @@ mod tests {
         assert_eq!(span.bytes, 64);
         assert_eq!(span.heap_allocated, 0);
         assert_eq!(span.heap_live_peak, 0);
+    }
+
+    #[test]
+    fn v3_trace_documents_still_parse() {
+        // A wire-version-3 document: spans carry measured-heap fields but
+        // no `req`, and the document has no `gauges` table.
+        let text = r#"{
+            "version": 3,
+            "spans": [{"id": 1, "parent": null, "name": "pipeline",
+                       "start_ns": 10, "duration_ns": 20, "bytes": 0,
+                       "tid": 2, "heap_allocated": 100, "heap_live_peak": 80}],
+            "counters": [],
+            "histograms": []
+        }"#;
+        let trace: Trace = crate::json::from_str(text).unwrap();
+        let span = trace.span("pipeline").unwrap();
+        assert_eq!(span.heap_allocated, 100);
+        assert_eq!(span.req, 0, "v3 spans default req to 0");
+        assert!(trace.gauges.is_empty(), "v3 traces default gauges to empty");
+    }
+
+    #[test]
+    fn gauges_record_last_write_and_round_trip() {
+        let t = Telemetry::new();
+        t.observe("h", 1.0); // enabled check below needs some content
+        t.set_gauge("depth", 3.0);
+        assert!(t.snapshot().gauges.is_empty(), "disabled registry records no gauges");
+        t.set_enabled(true);
+        t.set_gauge("depth", 3.0);
+        t.set_gauge("depth", 7.5);
+        t.set_gauge("inflight", 2.0);
+        let trace = t.snapshot();
+        assert_eq!(trace.gauge("depth"), Some(7.5), "last write wins");
+        assert_eq!(trace.gauge("inflight"), Some(2.0));
+        assert_eq!(trace.gauge("missing"), None);
+        use crate::json::{FromJson, ToJson};
+        let back =
+            Trace::from_json(&crate::json::Json::parse(&trace.to_json().dump()).unwrap()).unwrap();
+        assert_eq!(trace, back);
+        t.reset();
+        assert!(t.snapshot().gauges.is_empty());
+    }
+
+    #[test]
+    fn request_lane_tags_spans_and_filters() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        let root_id = {
+            let mut root = t.span("serve.request");
+            root.set_req(42);
+            root.id().unwrap()
+        };
+        // Manual record on the same timeline, attached across threads.
+        let pickup = t.now_ns();
+        let id = t
+            .record_span("serve.queue", Some(root_id), 42, pickup, 1234, 64, 32)
+            .unwrap();
+        drop(t.span("unrelated"));
+        let trace = t.snapshot();
+        let reqs = trace.spans_for_request(42);
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs.iter().any(|s| s.name == "serve.request" && s.id == root_id));
+        let queue = trace.span("serve.queue").unwrap();
+        assert_eq!(queue.id, id);
+        assert_eq!(queue.parent, Some(root_id));
+        assert_eq!(queue.duration_ns, 1234);
+        assert_eq!(queue.heap_allocated, 64);
+        assert_eq!(queue.heap_live_peak, 32);
+        assert_eq!(trace.span("unrelated").unwrap().req, 0);
+        // record_span is inert when disabled.
+        t.set_enabled(false);
+        assert!(t.record_span("x", None, 1, 0, 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn labeled_builds_escaped_metric_names() {
+        assert_eq!(
+            labeled("request_seconds", "endpoint", "/match/topk"),
+            "request_seconds{endpoint=\"/match/topk\"}"
+        );
+        assert_eq!(labeled("m", "k", "a\"b\\c"), "m{k=\"a\\\"b\\\\c\"}");
     }
 
     #[test]

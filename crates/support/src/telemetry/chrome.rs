@@ -91,6 +91,9 @@ pub fn to_chrome_json(trace: &Trace) -> Json {
         if span.heap_live_peak > 0 {
             args.insert("heap_live_peak", span.heap_live_peak);
         }
+        if span.req > 0 {
+            args.insert("req", span.req);
+        }
         e.insert("args", Json::Obj(args));
         events.push(Json::Obj(e));
     }
@@ -131,6 +134,20 @@ pub fn to_chrome_json(trace: &Trace) -> Json {
         e.insert("pid", 1u64);
         let mut args = Map::new();
         args.insert("value", counter.value);
+        e.insert("args", Json::Obj(args));
+        events.push(Json::Obj(e));
+    }
+
+    // Final gauge levels, same treatment as counters (wire v4).
+    for gauge in &trace.gauges {
+        let mut e = Map::new();
+        e.insert("name", &gauge.name);
+        e.insert("cat", "gauge");
+        e.insert("ph", "C");
+        e.insert("ts", end_ts);
+        e.insert("pid", 1u64);
+        let mut args = Map::new();
+        args.insert("value", gauge.value);
         e.insert("args", Json::Obj(args));
         events.push(Json::Obj(e));
     }
@@ -197,6 +214,28 @@ mod tests {
     }
 
     #[test]
+    fn request_lane_and_gauges_export() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        {
+            let mut root = t.span("serve.request");
+            root.set_req(9);
+        }
+        t.set_gauge("serve.queue_depth", 4.0);
+        let doc = to_chrome_json(&t.snapshot());
+        let events = doc["traceEvents"].as_array().unwrap();
+        let root = events.iter().find(|e| e["name"] == "serve.request").unwrap();
+        assert_eq!(root["args"]["req"].as_f64(), Some(9.0));
+        let gauge = events
+            .iter()
+            .find(|e| e["name"] == "serve.queue_depth")
+            .expect("gauge track");
+        assert_eq!(gauge["ph"], "C");
+        assert_eq!(gauge["cat"], "gauge");
+        assert_eq!(gauge["args"]["value"].as_f64(), Some(4.0));
+    }
+
+    #[test]
     fn measured_heap_spans_emit_memory_counter_track() {
         use crate::telemetry::{SpanRecord, TRACE_VERSION};
         let trace = Trace {
@@ -209,10 +248,12 @@ mod tests {
                 duration_ns: 2_000,
                 bytes: 0,
                 tid: 1,
+                req: 0,
                 heap_allocated: 4096,
                 heap_live_peak: 2048,
             }],
             counters: vec![],
+            gauges: vec![],
             histograms: vec![],
         };
         let doc = to_chrome_json(&trace);

@@ -8,13 +8,20 @@
 //! - a **snapshot publisher** that re-renders the registry into the
 //!   exposition text at a fixed interval, so scrapes never contend with
 //!   the recording hot path for more than one snapshot clone; and
-//! - a **server** that answers `GET /metrics` with the latest published
-//!   text, `GET /healthz` with `ok`, and anything else with 404.
+//! - a **server** that accepts connections (one short-lived thread per
+//!   connection, so a slow client never blocks a scrape) and answers
+//!   `GET`/`HEAD /metrics` with the latest published text, `GET`/`HEAD
+//!   /healthz` with `ok`, custom [`Routes`] (the serving layer's `POST
+//!   /match/topk`), wrong methods on known paths with 405, and unknown
+//!   paths with 404. Requests are parsed defensively: partial reads get
+//!   400, heads larger than 8 KiB get 431, bodies larger than 1 MiB get
+//!   413, and every response carries `Connection: close`.
 //!
 //! Both threads poll a shutdown flag; [`MetricsServer::shutdown`] (or
 //! dropping the server) stops and joins them. The exposition contains:
 //!
 //! - every counter as `entmatcher_<name>_total`;
+//! - every registry gauge as `entmatcher_<name>` (`# TYPE ... gauge`);
 //! - every histogram as a native Prometheus histogram
 //!   (`_bucket{le="..."}` / `_sum` / `_count`) whose `le` bounds are the
 //!   registry's power-of-two bucket upper edges;
@@ -29,6 +36,13 @@
 //!   memory gauge), plus `entmatcher_heap_live_bytes`,
 //!   `entmatcher_heap_peak_bytes`, and `entmatcher_alloc_total` when the
 //!   counting allocator is enabled.
+//!
+//! Registry metric names may carry one label using the
+//! [`super::labeled`] convention (`base{key="value"}`): the renderer
+//! splits the name at the first `{`, declares one `# TYPE` per base
+//! family, and merges the label block into every sample line — for
+//! histograms alongside the `le` bucket label. This is how the serving
+//! layer gets per-endpoint `entmatcher_request_seconds` histograms.
 //!
 //! The CLI starts a server when `--metrics ADDR` or
 //! `ENTMATCHER_METRICS_ADDR` is set, holding it open for the duration of
@@ -52,11 +66,20 @@ pub const ENV_ADDR: &str = "ENTMATCHER_METRICS_ADDR";
 pub const ENV_LINGER_MS: &str = "ENTMATCHER_METRICS_LINGER_MS";
 
 /// The `ENTMATCHER_METRICS_ADDR` setting, normalized: `None` when unset,
-/// empty, or `0`.
+/// empty, whitespace-only, or `0` (the conventional "explicitly
+/// disabled" value shared by the `ENTMATCHER_*` switches).
 pub fn env_metrics_addr() -> Option<String> {
-    match std::env::var(ENV_ADDR) {
-        Ok(v) if !v.is_empty() && v != "0" => Some(v),
-        _ => None,
+    normalize_addr(std::env::var(ENV_ADDR).ok().as_deref())
+}
+
+/// Pure normalization behind [`env_metrics_addr`]: trims surrounding
+/// whitespace, then treats empty and `0` as unset.
+pub fn normalize_addr(value: Option<&str>) -> Option<String> {
+    let v = value?.trim();
+    if v.is_empty() || v == "0" {
+        None
+    } else {
+        Some(v.to_owned())
     }
 }
 
@@ -69,6 +92,67 @@ pub fn env_linger() -> Duration {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
     )
+}
+
+/// Maximum accepted request-head size; anything larger gets 431.
+const MAX_HEAD_BYTES: usize = 8192;
+
+/// Maximum accepted request-body size; anything larger gets 413.
+const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed HTTP request, as delivered to a custom route handler.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (no query parsing — exact match).
+    pub path: String,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A response produced by a custom route handler.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line suffix, e.g. `"200 OK"`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: "200 OK",
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A `400 Bad Request` plain-text response.
+    pub fn bad_request(msg: &str) -> Response {
+        Response {
+            status: "400 Bad Request",
+            content_type: "text/plain",
+            body: format!("{msg}\n"),
+        }
+    }
+}
+
+/// Custom routes plugged into the exposition listener: the serving layer
+/// registers `POST /match/topk` (and friends) here so queries, `/metrics`,
+/// and `/healthz` share one socket. The handler returns `None` to decline
+/// a request on one of its paths (wrong method — the server then answers
+/// 405, since the path itself is known).
+#[derive(Clone)]
+pub struct Routes {
+    /// Paths the handler owns (used for the 405-vs-404 distinction).
+    pub paths: Vec<String>,
+    /// The handler, consulted before the built-in routes.
+    pub handler: Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>,
 }
 
 /// A running metrics exposition server (see the module docs).
@@ -91,6 +175,17 @@ impl MetricsServer {
         registry: &'static Telemetry,
         addr: &str,
         interval: Duration,
+    ) -> std::io::Result<MetricsServer> {
+        Self::start_with_routes(registry, addr, interval, None)
+    }
+
+    /// Like [`Self::start_with_interval`], additionally serving custom
+    /// [`Routes`] ahead of the built-in `/metrics` + `/healthz`.
+    pub fn start_with_routes(
+        registry: &'static Telemetry,
+        addr: &str,
+        interval: Duration,
+        routes: Option<Routes>,
     ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -124,11 +219,25 @@ impl MetricsServer {
             std::thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => handle_connection(stream, &page),
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(10));
+                        Ok((stream, _)) => {
+                            // One short-lived thread per connection: a
+                            // custom route (a top-k query) may block on
+                            // the batching queue, and a slow client must
+                            // never stall the next scrape.
+                            let page = Arc::clone(&page);
+                            let routes = routes.clone();
+                            std::thread::spawn(move || {
+                                handle_connection(stream, &page, routes.as_ref());
+                            });
                         }
-                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                        // 1 ms: the poll interval is a floor on every
+                        // served request's latency (the serve bench's p50
+                        // sits right on it), so it is kept small; an idle
+                        // wakeup per millisecond costs nothing measurable.
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
                     }
                 }
             })
@@ -176,54 +285,152 @@ fn sleep_poll(stop: &AtomicBool, total: Duration) {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, page: &Mutex<String>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    // Read until the end of the request head (or a small cap — we only
-    // need the request line).
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 8192 {
-                    break;
-                }
-            }
-            Err(_) => break,
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    if method != "GET" {
-        respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
-        return;
-    }
-    match path {
-        "/metrics" => {
-            let body = page.lock().expect("metrics page lock poisoned").clone();
-            respond(
-                &mut stream,
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                &body,
-            );
-        }
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
-        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
-    }
+/// Outcome of [`read_request`]: a parsed request, a protocol-level error
+/// response, or a silently-dropped connection (0 bytes then close).
+enum ReadOutcome {
+    Request(Request),
+    Error(Response),
+    Drop,
 }
 
-fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+/// Reads and parses one request from the stream: head up to
+/// [`MAX_HEAD_BYTES`] (431 beyond), then a `Content-Length` body up to
+/// [`MAX_BODY_BYTES`] (413 beyond). Partial reads — a client that
+/// disconnects or stalls mid-request — produce a 400, never a panic or a
+/// hung thread (read timeouts are set by the caller).
+fn read_request(stream: &mut TcpStream) -> ReadOutcome {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return ReadOutcome::Error(Response {
+                status: "431 Request Header Fields Too Large",
+                content_type: "text/plain",
+                body: "request head too large\n".into(),
+            });
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => {
+                // EOF or timeout before the head terminator: an empty
+                // connection (port probe) is dropped silently, a partial
+                // request gets a 400 so real clients see a diagnosis.
+                return if buf.is_empty() {
+                    ReadOutcome::Drop
+                } else {
+                    ReadOutcome::Error(Response::bad_request("incomplete request head"))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let mut parts = lines.next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method.is_empty() || !path.starts_with('/') {
+        return ReadOutcome::Error(Response::bad_request("malformed request line"));
+    }
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return ReadOutcome::Error(Response {
+            status: "413 Content Too Large",
+            content_type: "text/plain",
+            body: "request body too large\n".into(),
+        });
+    }
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => {
+                return ReadOutcome::Error(Response::bad_request("incomplete request body"));
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+    ReadOutcome::Request(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, page: &Mutex<String>, routes: Option<&Routes>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(2000)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(2000)));
+    let req = match read_request(&mut stream) {
+        ReadOutcome::Request(req) => req,
+        ReadOutcome::Error(resp) => {
+            respond(&mut stream, &resp, false);
+            return;
+        }
+        ReadOutcome::Drop => return,
+    };
+    // HEAD is answered exactly like GET minus the body (same status and
+    // Content-Length), per RFC 9110.
+    let head_only = req.method == "HEAD";
+    let lookup_method = if head_only { "GET" } else { req.method.as_str() };
+    let lookup = Request {
+        method: lookup_method.to_owned(),
+        ..req.clone()
+    };
+    if let Some(routes) = routes {
+        if let Some(resp) = (routes.handler)(&lookup) {
+            respond(&mut stream, &resp, head_only);
+            return;
+        }
+    }
+    let resp = match (lookup_method, req.path.as_str()) {
+        ("GET", "/metrics") => Response {
+            status: "200 OK",
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: page.lock().expect("metrics page lock poisoned").clone(),
+        },
+        ("GET", "/healthz") => Response {
+            status: "200 OK",
+            content_type: "text/plain",
+            body: "ok\n".into(),
+        },
+        (_, path) => {
+            let known = path == "/metrics"
+                || path == "/healthz"
+                || routes.is_some_and(|r| r.paths.iter().any(|p| p == path));
+            if known {
+                Response {
+                    status: "405 Method Not Allowed",
+                    content_type: "text/plain",
+                    body: "method not allowed\n".into(),
+                }
+            } else {
+                Response {
+                    status: "404 Not Found",
+                    content_type: "text/plain",
+                    body: "not found\n".into(),
+                }
+            }
+        }
+    };
+    respond(&mut stream, &resp, head_only);
+}
+
+fn respond(stream: &mut TcpStream, resp: &Response, head_only: bool) {
     let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        resp.content_type,
+        resp.body.len()
     );
     let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    if !head_only {
+        let _ = stream.write_all(resp.body.as_bytes());
+    }
     let _ = stream.flush();
 }
 
@@ -269,47 +476,125 @@ fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Splits a registry metric name into its base and optional label block
+/// (the [`super::labeled`] convention): `req{k="v"}` → `("req",
+/// Some("k=\"v\""))`, a plain name maps to `(name, None)`.
+fn split_labeled(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.strip_suffix('}').unwrap_or(rest))),
+        None => (name, None),
+    }
+}
+
+/// `{k="v"}` / `{k="v",le="2"}` / `{le="2"}` / `` — the sample-line label
+/// block for an optional metric label merged with optional extra pairs.
+fn label_block(label: Option<&str>, extra: Option<&str>) -> String {
+    match (label, extra) {
+        (Some(l), Some(e)) => format!("{{{l},{e}}}"),
+        (Some(l), None) => format!("{{{l}}}"),
+        (None, Some(e)) => format!("{{{e}}}"),
+        (None, None) => String::new(),
+    }
+}
+
+/// Appends one gauge sample (with its `# TYPE` declaration) — the shared
+/// path for registry gauges and the process-memory gauges.
+fn render_gauge(out: &mut String, family: &str, help: Option<&str>, label: Option<&str>, value: f64) {
+    if let Some(help) = help {
+        let _ = writeln!(out, "# HELP {family} {help}");
+    }
+    let _ = writeln!(out, "# TYPE {family} gauge");
+    let mut v = String::new();
+    write_f64(&mut v, value);
+    let _ = writeln!(out, "{family}{} {v}", label_block(label, None));
+}
+
 /// Renders a trace snapshot as Prometheus text exposition (format
 /// version 0.0.4). Deterministic: metric families appear in sorted-name
-/// order (the snapshot's own order), spans grouped by name.
+/// order (the snapshot's own order), spans grouped by name, labeled
+/// registry metrics (`base{key="value"}` names) grouped into one family
+/// with a single `# TYPE` declaration.
 pub fn render_prometheus(trace: &Trace) -> String {
+    use std::collections::BTreeMap;
     let mut out = String::new();
 
     out.push_str("# HELP entmatcher_up Whether the entmatcher process is serving metrics.\n");
     out.push_str("# TYPE entmatcher_up gauge\n");
     out.push_str("entmatcher_up 1\n");
 
+    let mut counter_families: BTreeMap<String, Vec<(Option<&str>, u64)>> = BTreeMap::new();
     for counter in &trace.counters {
-        let name = format!("entmatcher_{}_total", sanitize(&counter.name));
-        let _ = writeln!(out, "# TYPE {name} counter");
-        let _ = writeln!(out, "{name} {}", counter.value);
+        let (base, label) = split_labeled(&counter.name);
+        counter_families
+            .entry(format!("entmatcher_{}_total", sanitize(base)))
+            .or_default()
+            .push((label, counter.value));
+    }
+    for (family, samples) in &counter_families {
+        let _ = writeln!(out, "# TYPE {family} counter");
+        for (label, value) in samples {
+            let _ = writeln!(out, "{family}{} {value}", label_block(*label, None));
+        }
     }
 
-    for hist in &trace.histograms {
-        let base = format!("entmatcher_{}", sanitize(&hist.name));
-        let _ = writeln!(out, "# TYPE {base} histogram");
-        // Underflow samples (zero / negative / NaN) sit below every
-        // positive bucket edge, so they seed the cumulative count.
-        let mut cum: u64 = hist
-            .buckets
-            .iter()
-            .filter(|&&(b, _)| b == UNDERFLOW_BUCKET)
-            .map(|&(_, c)| c)
-            .sum();
-        for &(bucket, count) in &hist.buckets {
-            if bucket == UNDERFLOW_BUCKET {
-                continue;
-            }
-            cum += count;
-            let mut le = String::new();
-            write_f64(&mut le, (bucket as f64 + 1.0).exp2());
-            let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cum}");
+    let mut gauge_families: BTreeMap<String, Vec<(Option<&str>, f64)>> = BTreeMap::new();
+    for gauge in &trace.gauges {
+        let (base, label) = split_labeled(&gauge.name);
+        gauge_families
+            .entry(format!("entmatcher_{}", sanitize(base)))
+            .or_default()
+            .push((label, gauge.value));
+    }
+    for (family, samples) in &gauge_families {
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        for (label, value) in samples {
+            let mut v = String::new();
+            write_f64(&mut v, *value);
+            let _ = writeln!(out, "{family}{} {v}", label_block(*label, None));
         }
-        let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {}", hist.count);
-        let mut sum = String::new();
-        write_f64(&mut sum, hist.sum);
-        let _ = writeln!(out, "{base}_sum {sum}");
-        let _ = writeln!(out, "{base}_count {}", hist.count);
+    }
+
+    let mut hist_families: BTreeMap<String, Vec<(Option<&str>, &super::Histogram)>> =
+        BTreeMap::new();
+    for hist in &trace.histograms {
+        let (base, label) = split_labeled(&hist.name);
+        hist_families
+            .entry(format!("entmatcher_{}", sanitize(base)))
+            .or_default()
+            .push((label, hist));
+    }
+    for (family, series) in &hist_families {
+        let _ = writeln!(out, "# TYPE {family} histogram");
+        for (label, hist) in series {
+            // Underflow samples (zero / negative / NaN) sit below every
+            // positive bucket edge, so they seed the cumulative count.
+            let mut cum: u64 = hist
+                .buckets
+                .iter()
+                .filter(|&&(b, _)| b == UNDERFLOW_BUCKET)
+                .map(|&(_, c)| c)
+                .sum();
+            for &(bucket, count) in &hist.buckets {
+                if bucket == UNDERFLOW_BUCKET {
+                    continue;
+                }
+                cum += count;
+                let mut le = String::new();
+                write_f64(&mut le, (bucket as f64 + 1.0).exp2());
+                let le = format!("le=\"{le}\"");
+                let _ = writeln!(out, "{family}_bucket{} {cum}", label_block(*label, Some(&le)));
+            }
+            let _ = writeln!(
+                out,
+                "{family}_bucket{} {}",
+                label_block(*label, Some("le=\"+Inf\"")),
+                hist.count
+            );
+            let mut sum = String::new();
+            write_f64(&mut sum, hist.sum);
+            let _ = writeln!(out, "{family}_sum{} {sum}", label_block(*label, None));
+            let _ = writeln!(out, "{family}_count{} {}", label_block(*label, None), hist.count);
+        }
     }
 
     // Per-span-name aggregates over completed spans.
@@ -361,16 +646,18 @@ pub fn render_prometheus(trace: &Trace) -> String {
 pub fn render_process_gauges() -> String {
     let mut out = String::new();
     if let Some(rss) = crate::alloc::rss_bytes() {
-        out.push_str("# HELP entmatcher_rss_bytes Resident set size (/proc/self/statm).\n");
-        out.push_str("# TYPE entmatcher_rss_bytes gauge\n");
-        let _ = writeln!(out, "entmatcher_rss_bytes {rss}");
+        render_gauge(
+            &mut out,
+            "entmatcher_rss_bytes",
+            Some("Resident set size (/proc/self/statm)."),
+            None,
+            rss as f64,
+        );
     }
     if crate::alloc::enabled() {
         let stats = crate::alloc::stats();
-        out.push_str("# TYPE entmatcher_heap_live_bytes gauge\n");
-        let _ = writeln!(out, "entmatcher_heap_live_bytes {}", stats.live_bytes);
-        out.push_str("# TYPE entmatcher_heap_peak_bytes gauge\n");
-        let _ = writeln!(out, "entmatcher_heap_peak_bytes {}", stats.peak_bytes);
+        render_gauge(&mut out, "entmatcher_heap_live_bytes", None, None, stats.live_bytes as f64);
+        render_gauge(&mut out, "entmatcher_heap_peak_bytes", None, None, stats.peak_bytes as f64);
         out.push_str("# TYPE entmatcher_alloc_total counter\n");
         let _ = writeln!(out, "entmatcher_alloc_total {}", stats.allocs);
         out.push_str("# TYPE entmatcher_alloc_bytes_total counter\n");
@@ -389,6 +676,57 @@ mod tests {
         assert_eq!(sanitize("sinkhorn.col_dev"), "sinkhorn_col_dev");
         assert_eq!(sanitize("a-b c:d"), "a_b_c:d");
         assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn addr_normalization() {
+        assert_eq!(normalize_addr(None), None);
+        assert_eq!(normalize_addr(Some("")), None);
+        assert_eq!(normalize_addr(Some("0")), None);
+        assert_eq!(normalize_addr(Some("   ")), None, "whitespace-only is unset");
+        assert_eq!(normalize_addr(Some("\t 0 \n")), None, "whitespace around 0 is unset");
+        assert_eq!(
+            normalize_addr(Some(" 127.0.0.1:9464 ")),
+            Some("127.0.0.1:9464".to_owned()),
+            "surrounding whitespace is trimmed"
+        );
+    }
+
+    #[test]
+    fn labeled_metrics_render_as_one_family() {
+        use crate::telemetry::labeled;
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        for v in [0.010, 0.020] {
+            t.observe(&labeled("request_seconds", "endpoint", "/match/topk"), v);
+        }
+        t.observe(&labeled("request_seconds", "endpoint", "/healthz"), 0.001);
+        t.add(&labeled("http.responses", "code", "200"), 3);
+        t.add(&labeled("http.responses", "code", "404"), 1);
+        let text = render_prometheus(&t.snapshot());
+        // One TYPE declaration per family, label blocks merged with `le`.
+        assert_eq!(text.matches("# TYPE entmatcher_request_seconds histogram").count(), 1);
+        assert!(
+            text.contains("entmatcher_request_seconds_bucket{endpoint=\"/match/topk\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("entmatcher_request_seconds_count{endpoint=\"/match/topk\"} 2"));
+        assert!(text.contains("entmatcher_request_seconds_count{endpoint=\"/healthz\"} 1"));
+        assert_eq!(text.matches("# TYPE entmatcher_http_responses_total counter").count(), 1);
+        assert!(text.contains("entmatcher_http_responses_total{code=\"200\"} 3"));
+        assert!(text.contains("entmatcher_http_responses_total{code=\"404\"} 1"));
+    }
+
+    #[test]
+    fn registry_gauges_render_with_gauge_type() {
+        let t = Telemetry::new();
+        t.set_enabled(true);
+        t.set_gauge("serve.queue_depth", 4.0);
+        t.set_gauge("serve.cache_hit_ratio", 0.25);
+        let text = render_prometheus(&t.snapshot());
+        assert!(text.contains("# TYPE entmatcher_serve_queue_depth gauge"), "{text}");
+        assert!(text.contains("entmatcher_serve_queue_depth 4"), "{text}");
+        assert!(text.contains("entmatcher_serve_cache_hit_ratio 0.25"), "{text}");
     }
 
     #[test]

@@ -5,11 +5,14 @@
 
 use entmatcher_support::json::Json;
 use entmatcher_support::telemetry::chrome::to_chrome_string;
-use entmatcher_support::telemetry::expose::{render_prometheus, MetricsServer};
+use entmatcher_support::telemetry::expose::{
+    render_prometheus, MetricsServer, Response, Routes,
+};
 use entmatcher_support::telemetry::profile::Profiler;
 use entmatcher_support::telemetry::Telemetry;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The exposition server and profiler hold the registry for a thread's
@@ -316,6 +319,107 @@ fn metrics_server_binds_serves_and_shuts_down() {
     server.shutdown();
     let gone = TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err();
     assert!(gone, "server still accepting after shutdown");
+}
+
+/// Sends raw bytes and returns the full response text (empty if the
+/// server closed without answering).
+fn http_raw(addr: std::net::SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(request).expect("send request");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+#[test]
+fn server_hardening_against_real_clients() {
+    let t = leaked_registry();
+    t.set_enabled(true);
+    let routes = Routes {
+        paths: vec!["/echo".to_owned()],
+        handler: Arc::new(|req| {
+            if req.path == "/echo" && req.method == "POST" {
+                Some(Response::json(String::from_utf8_lossy(&req.body).into_owned()))
+            } else {
+                None
+            }
+        }),
+    };
+    let server = MetricsServer::start_with_routes(
+        t,
+        "127.0.0.1:0",
+        Duration::from_millis(20),
+        Some(routes),
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    // Every response carries an explicit Connection: close.
+    let (head, _) = http_get(addr, "/healthz");
+    assert!(head.contains("Connection: close"), "{head}");
+
+    // HEAD answers like GET minus the body: same status, real
+    // Content-Length, nothing after the blank line.
+    let resp = http_raw(addr, b"HEAD /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    let (head, body) = resp.split_once("\r\n\r\n").expect("head/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("Content-Length: 3"), "{head}");
+    assert!(body.is_empty(), "HEAD must not send a body: {body:?}");
+
+    // Wrong method on a known path is 405, not 404 — for built-ins and
+    // custom routes alike.
+    let resp = http_raw(addr, b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+    let resp = http_raw(addr, b"DELETE /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+    let resp = http_raw(addr, b"GET /echo HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+    // ...but an unknown path stays 404 regardless of method.
+    let resp = http_raw(addr, b"POST /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+
+    // A custom route sees the request body (Content-Length framing).
+    let resp = http_raw(
+        addr,
+        b"POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+    );
+    let (head, body) = resp.split_once("\r\n\r\n").expect("head/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(body, "hello");
+
+    // Partial request reads are tolerated: a client that disconnects
+    // mid-head gets a 400, not a hung or crashed server thread.
+    let resp = http_raw(addr, b"GET /hea");
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+    // A malformed request line is a 400 too.
+    let resp = http_raw(addr, b"nonsense\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+    // Oversized request heads are rejected with 431 instead of being
+    // buffered without bound.
+    let mut big = b"GET /metrics HTTP/1.1\r\nX-Junk: ".to_vec();
+    big.extend(std::iter::repeat_n(b'a', 10_000));
+    big.extend_from_slice(b"\r\n\r\n");
+    let resp = http_raw(addr, &big);
+    assert!(resp.starts_with("HTTP/1.1 431"), "{resp}");
+
+    // An oversized declared body is rejected with 413 before reading it.
+    let resp = http_raw(
+        addr,
+        b"POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 99999999\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+
+    // The server survives all of the above and still serves.
+    let (head, body) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("entmatcher_up 1"), "{body}");
+    server.shutdown();
 }
 
 // ---------------------------------------------------------------------------

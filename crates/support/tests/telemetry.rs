@@ -41,7 +41,8 @@ fn golden_json_round_trip() {
     // Wire-shape guarantees consumers rely on: top-level version and the
     // three sections, span records keyed by stable field names.
     let json = trace.to_json();
-    assert_eq!(json.field::<u64>("version").unwrap(), 3);
+    assert_eq!(json.field::<u64>("version").unwrap(), 4);
+    assert!(json.get("gauges").is_some(), "v4 traces carry a gauges table");
     let spans = json.get("spans").and_then(|s| s.as_array()).expect("spans");
     for key in [
         "id",
@@ -51,6 +52,7 @@ fn golden_json_round_trip() {
         "duration_ns",
         "bytes",
         "tid",
+        "req",
         "heap_allocated",
         "heap_live_peak",
     ] {

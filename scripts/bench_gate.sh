@@ -30,6 +30,11 @@
 # ENTMATCHER_QUANT_RATIO_FLOOR (default 3.5) times below pack_f32 at
 # every scale.
 #
+# Serve gate: the fresh serving bench's qps must stay within the
+# tolerance below the committed `BENCH_serve.json` baseline, and its p99
+# latency must not inflate more than the tolerance above it — the online
+# matching SLO, measured over real HTTP round trips at fixed concurrency.
+#
 # This is deliberately a separate script from verify.sh: the full bench
 # takes minutes and wall-clock throughput is only meaningful on a quiet
 # machine, so the gate is for perf-sensitive changes (and dedicated perf
@@ -44,6 +49,7 @@ cd "$(dirname "$0")/.."
 BASELINE="BENCH_kernels.json"
 ANN_BASELINE="BENCH_ann.json"
 MEM_BASELINE="BENCH_memory.json"
+SERVE_BASELINE="BENCH_serve.json"
 TOLERANCE="${ENTMATCHER_BENCH_TOLERANCE_PCT:-20}"
 ANN_RECALL_FLOOR="${ENTMATCHER_ANN_RECALL_FLOOR:-0.95}"
 ANN_SPEEDUP_FLOOR="${ENTMATCHER_ANN_SPEEDUP_FLOOR:-5}"
@@ -58,6 +64,10 @@ ANN_SPEEDUP_FLOOR="${ENTMATCHER_ANN_SPEEDUP_FLOOR:-5}"
 }
 [ -f "$MEM_BASELINE" ] || {
     echo "bench_gate: baseline $MEM_BASELINE missing (run the memory bench and commit its output)" >&2
+    exit 1
+}
+[ -f "$SERVE_BASELINE" ] || {
+    echo "bench_gate: baseline $SERVE_BASELINE missing (run the serve bench and commit its output)" >&2
     exit 1
 }
 
@@ -96,6 +106,20 @@ best_qualifying_speedup() {
     ' "$1"
 }
 
+# One top-level numeric field from a serve-bench JSON artifact (the
+# writer's pretty-printed output keeps one `"key": value` pair per line).
+serve_field() {
+    awk -v want="\"$2\":" '
+        $1 == want {
+            v = $2 + 0
+            print v
+            found = 1
+            exit
+        }
+        END { if (!found) exit 1 }
+    ' "$1"
+}
+
 # "stage n bytes_per_entity" triples from a memory-bench JSON artifact.
 # Same line-based format: each entry's "stage" line precedes its "n"
 # line, which precedes its "bytes_per_entity" line.
@@ -110,7 +134,8 @@ mem_rows() {
 FRESH_OUT=$(mktemp)
 ANN_FRESH_OUT=$(mktemp)
 MEM_FRESH_OUT=$(mktemp)
-trap 'rm -f "$FRESH_OUT" "$ANN_FRESH_OUT" "$MEM_FRESH_OUT"' EXIT
+SERVE_FRESH_OUT=$(mktemp)
+trap 'rm -f "$FRESH_OUT" "$ANN_FRESH_OUT" "$MEM_FRESH_OUT" "$SERVE_FRESH_OUT"' EXIT
 
 # Full-size run: QUICK must be off or the timings are meaningless.
 echo "bench_gate: running kernels bench (full size, this takes a while)..."
@@ -240,4 +265,47 @@ mem_rows "$MEM_FRESH_OUT" | awk -v floor="$QUANT_RATIO_FLOOR" '
             exit 1
         }
     }' || STATUS=1
+
+# Serve gate: qps floor and p99 ceiling against the committed baseline —
+# the online matching SLO, measured over real HTTP round trips.
+echo "bench_gate: running serve bench (full size)..."
+ENTMATCHER_SERVE_BENCH_OUT="$SERVE_FRESH_OUT" \
+    cargo bench --offline -p entmatcher-bench --bench serve >/dev/null 2>&1
+
+for FIELD in qps p99_ms; do
+    serve_field "$SERVE_BASELINE" "$FIELD" >/dev/null || {
+        echo "bench_gate: no $FIELD entry in baseline $SERVE_BASELINE" >&2
+        exit 1
+    }
+    serve_field "$SERVE_FRESH_OUT" "$FIELD" >/dev/null || {
+        echo "bench_gate: FAIL: no $FIELD entry in fresh serve output" >&2
+        exit 1
+    }
+done
+SERVE_QPS_BASE=$(serve_field "$SERVE_BASELINE" qps)
+SERVE_QPS_FRESH=$(serve_field "$SERVE_FRESH_OUT" qps)
+SERVE_P99_BASE=$(serve_field "$SERVE_BASELINE" p99_ms)
+SERVE_P99_FRESH=$(serve_field "$SERVE_FRESH_OUT" p99_ms)
+awk -v fresh="$SERVE_QPS_FRESH" -v base="$SERVE_QPS_BASE" -v tol="$TOLERANCE" 'BEGIN {
+    floor = base * (1 - tol / 100)
+    if (fresh < floor) {
+        printf "bench_gate: FAIL: serve %.0f qps is below the %.0f floor (baseline %.0f, tolerance %s%%)\n", fresh, floor, base, tol
+        exit 1
+    }
+    printf "bench_gate: ok: serve %.0f qps vs baseline %.0f (floor %.0f, tolerance %s%%)\n", fresh, base, floor, tol
+}' || STATUS=1
+# The ceiling carries 3 ms of absolute slack on top of the relative
+# tolerance: every fresh connection pays up to one 1 ms accept-poll
+# interval before its request is read, so tail latency is quantized in
+# poll intervals and a pure percentage band would flake on poll phase.
+SERVE_P99_SLACK_MS="${ENTMATCHER_SERVE_P99_SLACK_MS:-3}"
+awk -v fresh="$SERVE_P99_FRESH" -v base="$SERVE_P99_BASE" -v tol="$TOLERANCE" \
+    -v slack="$SERVE_P99_SLACK_MS" 'BEGIN {
+    ceil = base * (1 + tol / 100) + slack
+    if (fresh > ceil) {
+        printf "bench_gate: FAIL: serve p99 %.2fms is above the %.2fms ceiling (baseline %.2f, tolerance %s%% + %sms slack)\n", fresh, ceil, base, tol, slack
+        exit 1
+    }
+    printf "bench_gate: ok: serve p99 %.2fms vs baseline %.2f (ceiling %.2f, tolerance %s%% + %sms slack)\n", fresh, base, ceil, tol, slack
+}' || STATUS=1
 exit "$STATUS"

@@ -226,6 +226,74 @@ grep -q '"traceEvents"' "$SMOKE/chrome.json" || {
 }
 echo "verify: flight recorder smoke passed"
 
+# Serve smoke, in both execution configs: start the online matching
+# service on an ephemeral port, answer one top-k query, check /healthz,
+# and scrape /metrics for the per-endpoint request_seconds histogram —
+# then shut it down cleanly over POST /shutdown and require exit 0.
+for MODE in default degenerate; do
+    if [ "$MODE" = "degenerate" ]; then
+        MODE_ENV="ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off"
+    else
+        MODE_ENV=""
+    fi
+    env $MODE_ENV "$ENTMATCHER" serve \
+        --embeddings "$SMOKE/emb" --addr 127.0.0.1:0 \
+        >"$SMOKE/serve-$MODE.out" 2>"$SMOKE/serve-$MODE.err" &
+    SERVE_PID=$!
+    SERVE_ADDR=""
+    for _ in $(seq 1 100); do
+        SERVE_ADDR=$(sed -n 's#^serve: listening http://\([^ ]*\) .*#\1#p' \
+            "$SMOKE/serve-$MODE.err" 2>/dev/null || true)
+        [ -n "$SERVE_ADDR" ] && break
+        sleep 0.1
+    done
+    [ -n "$SERVE_ADDR" ] || {
+        echo "verify: [$MODE] serve never announced its address" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
+    TOPK=$(curl -sf -X POST --data '{"ids": [0, 1], "k": 3}' \
+        "http://$SERVE_ADDR/match/topk" || true)
+    echo "$TOPK" | grep -q '"req_id"' || {
+        echo "verify: [$MODE] /match/topk did not answer with a req_id: $TOPK" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
+    curl -sf "http://$SERVE_ADDR/healthz" | grep -q "ok" || {
+        echo "verify: [$MODE] serve /healthz not answering" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
+    SERVE_SCRAPE=""
+    for _ in $(seq 1 100); do
+        SERVE_SCRAPE=$(curl -sf "http://$SERVE_ADDR/metrics" || true)
+        echo "$SERVE_SCRAPE" | grep -q "entmatcher_request_seconds_count" && break
+        sleep 0.1
+    done
+    COUNT=$(echo "$SERVE_SCRAPE" | sed -n \
+        's#^entmatcher_request_seconds_count{endpoint="/match/topk"} \([0-9]*\)$#\1#p')
+    [ -n "$COUNT" ] && [ "$COUNT" -ge 1 ] || {
+        echo "verify: [$MODE] request_seconds histogram missing or zero on /metrics" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
+    echo "$SERVE_SCRAPE" | grep -q "entmatcher_serve_requests_total" || {
+        echo "verify: [$MODE] serve.requests counter missing on /metrics" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
+    curl -sf -X POST "http://$SERVE_ADDR/shutdown" | grep -q "shutting down" || {
+        echo "verify: [$MODE] POST /shutdown did not acknowledge" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
+    wait "$SERVE_PID" || {
+        echo "verify: [$MODE] serve exited non-zero after /shutdown" >&2
+        exit 1
+    }
+    echo "verify: serve smoke passed ($MODE)"
+done
+
 # Memory observability test group, called out by name: per-span heap
 # attribution must hold whether allocations happen on pool workers or on
 # the serial fast path, and the measured-vs-modeled cross-check harness
@@ -377,3 +445,23 @@ grep -q '"bytes_per_entity"' "$MEM_OUT" || {
     exit 1
 }
 echo "verify: memory bench smoke passed"
+
+# Serve-bench smoke: quick-size qps/p99 measurement over real HTTP; the
+# self-check validates JSON structure and quantile sanity (the qps/p99
+# regression gate runs at full size in bench_gate.sh).
+SERVE_OUT="$SMOKE/BENCH_serve.json"
+SERVE_LOG=$(ENTMATCHER_SERVE_BENCH_OUT="$SERVE_OUT" \
+    cargo bench --offline -p entmatcher-bench --bench serve 2>&1) || {
+    echo "verify: serve bench failed" >&2
+    echo "$SERVE_LOG" >&2
+    exit 1
+}
+echo "$SERVE_LOG" | grep -q "self-check ok" || {
+    echo "verify: serve bench self-check marker missing" >&2
+    exit 1
+}
+grep -q '"p99_ms"' "$SERVE_OUT" || {
+    echo "verify: no p99_ms entry in $SERVE_OUT" >&2
+    exit 1
+}
+echo "verify: serve bench smoke passed"
