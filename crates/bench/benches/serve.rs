@@ -1,24 +1,33 @@
 //! Serving benchmark: queries/sec and tail latency for `MatchService`
-//! behind the real HTTP listener, at fixed client concurrency.
+//! behind the real HTTP listener, at fixed client concurrency, in two
+//! connection modes.
 //!
 //! The full-size configuration loads a 20k x 64 clustered pair, starts
 //! the service exactly as `entmatcher serve` does (normalized rows, warm
 //! packed operand, batching queue, real `MetricsServer` listener with the
 //! `/match/topk` route), and drives it with 8 client threads issuing
-//! sequential `POST /match/topk` requests over fresh TCP connections —
-//! each request is a full connect / request / parse round trip, so the
-//! measured numbers include the accept loop and HTTP glue, not just the
-//! GEMM. The query cache is disabled so every request exercises the
-//! batch worker; the artifact's `mean_batch` shows how much the queue
-//! coalesces under this load.
+//! sequential `POST /match/topk` requests — each request is a full
+//! request / parse round trip, so the measured numbers include the
+//! listener and HTTP glue, not just the GEMM. The query cache is disabled
+//! so every request exercises the batch worker; each mode's `mean_batch`
+//! shows how much the queue coalesces under that load.
 //!
-//! `BENCH_serve.json` records qps plus exact p50/p99 latency (computed
-//! from the sorted per-request samples, not histogram buckets) and is
-//! gated by `scripts/bench_gate.sh`: >=20% qps regression or >=20% p99
-//! inflation against the committed baseline fails.
+//! Modes (both measured against the same warm service, sequentially):
+//! * `fresh_conn` — every request opens its own TCP connection
+//!   (`Connection: close`), the worst-case client;
+//! * `keepalive` — each client holds one persistent socket for its whole
+//!   request stream, the intended production shape. `conns_opened` and
+//!   `requests_per_conn` make connection-reuse regressions visible
+//!   directly, not just through aggregate qps.
 //!
-//! Modes:
-//! * default — 20k entities, d = 64, 8 clients x 250 requests;
+//! `BENCH_serve.json` (schema v2) records one row per mode with qps plus
+//! exact p50/p99 latency (computed from the sorted per-request samples,
+//! not histogram buckets); `scripts/bench_gate.sh` gates **both** rows:
+//! >=20% qps regression or p99 inflation against the committed baseline
+//! fails.
+//!
+//! Sizes:
+//! * default — 20k entities, d = 64, 8 clients x 250 requests per mode;
 //! * `ENTMATCHER_BENCH_QUICK=1` / `--test` / `--quick` — CI smoke: 2k
 //!   entities, 4 clients x 30 requests, artifact in the temp dir.
 //!
@@ -45,14 +54,35 @@ struct Sample {
     batch_size: u64,
 }
 
-/// POSTs one top-k query over a fresh connection and parses the reply.
-fn query(addr: &str, ids: &[u32], k: usize) -> Sample {
+/// Everything one load run produces: per-request samples plus the
+/// connection accounting the keep-alive mode exists to surface.
+struct ModeRun {
+    samples: Vec<Sample>,
+    wall_seconds: f64,
+    conns_opened: u64,
+}
+
+fn topk_body(ids: &[u32], k: usize) -> String {
     let id_list = ids
         .iter()
         .map(|i| i.to_string())
         .collect::<Vec<_>>()
         .join(", ");
-    let body = format!("{{\"ids\": [{id_list}], \"k\": {k}}}");
+    format!("{{\"ids\": [{id_list}], \"k\": {k}}}")
+}
+
+/// Extracts `batch_size` from a 200 response payload.
+fn parse_batch_size(payload: &str) -> u64 {
+    let doc = Json::parse(payload).expect("response JSON");
+    doc.get("batch_size")
+        .and_then(|v| v.as_f64())
+        .expect("batch_size field") as u64
+}
+
+/// POSTs one top-k query over a fresh connection and parses the reply —
+/// the `fresh_conn` client: connect, one request, `Connection: close`.
+fn query_fresh(addr: &str, ids: &[u32], k: usize) -> Sample {
+    let body = topk_body(ids, k);
     let started = Instant::now();
     let mut stream = TcpStream::connect(addr).expect("connect to serve listener");
     stream
@@ -73,48 +103,215 @@ fn query(addr: &str, ids: &[u32], k: usize) -> Sample {
         "bad response: {response}"
     );
     let payload = response.split_once("\r\n\r\n").expect("body split").1;
-    let doc = Json::parse(payload).expect("response JSON");
-    let batch_size = doc
-        .get("batch_size")
-        .and_then(|v| v.as_f64())
-        .expect("batch_size field") as u64;
     Sample {
         latency,
-        batch_size,
+        batch_size: parse_batch_size(payload),
     }
 }
 
-/// Runs the fixed-concurrency load and returns (samples, wall seconds).
-fn drive(addr: &str, clients: usize, requests: usize, n_source: usize) -> (Vec<Sample>, f64) {
+/// The `keepalive` client: one persistent socket per client thread,
+/// reconnecting (and counting it) only if the server drops the
+/// connection. Responses are framed by `Content-Length` off a carried
+/// buffer, the keep-alive client discipline.
+struct KeepAliveClient {
+    addr: String,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+    conns_opened: u64,
+}
+
+impl KeepAliveClient {
+    fn new(addr: &str) -> KeepAliveClient {
+        KeepAliveClient {
+            addr: addr.to_string(),
+            stream: None,
+            buf: Vec::new(),
+            conns_opened: 0,
+        }
+    }
+
+    fn ensure_connected(&mut self) -> &mut TcpStream {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr).expect("connect to serve listener");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("set read timeout");
+            let _ = stream.set_nodelay(true);
+            self.conns_opened += 1;
+            self.buf.clear();
+            self.stream = Some(stream);
+        }
+        self.stream.as_mut().expect("stream present")
+    }
+
+    fn query(&mut self, ids: &[u32], k: usize) -> Sample {
+        let body = topk_body(ids, k);
+        let addr = self.addr.clone();
+        let started = Instant::now();
+        // One reconnect retry: the server may have evicted an idle socket
+        // between requests (not under sustained load, but cheap to handle
+        // correctly).
+        for attempt in 0..2 {
+            let request = format!(
+                "POST /match/topk HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let stream = self.ensure_connected();
+            if stream.write_all(request.as_bytes()).is_err() {
+                self.stream = None;
+                assert!(attempt == 0, "server refused a reconnected socket");
+                continue;
+            }
+            match self.read_response() {
+                Some((head, payload)) => {
+                    assert!(
+                        head.starts_with("HTTP/1.1 200 OK"),
+                        "bad response: {head}\n{payload}"
+                    );
+                    if head.to_ascii_lowercase().contains("connection: close") {
+                        self.stream = None;
+                    }
+                    return Sample {
+                        latency: started.elapsed(),
+                        batch_size: parse_batch_size(&payload),
+                    };
+                }
+                None => {
+                    self.stream = None;
+                    assert!(attempt == 0, "server closed a reconnected socket");
+                }
+            }
+        }
+        unreachable!("retry loop returns or asserts");
+    }
+
+    /// Reads one `Content-Length`-framed response; `None` if the server
+    /// closed before a full response arrived (reconnect and retry).
+    fn read_response(&mut self) -> Option<(String, String)> {
+        let stream = self.stream.as_mut().expect("stream present");
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.eq_ignore_ascii_case("content-length")
+                    .then(|| v.trim().parse().expect("numeric Content-Length"))
+            })
+            .expect("response declares Content-Length");
+        while self.buf.len() < head_end + content_length {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let payload =
+            String::from_utf8_lossy(&self.buf[head_end..head_end + content_length]).into_owned();
+        self.buf.drain(..head_end + content_length);
+        Some((head, payload))
+    }
+}
+
+/// Runs the fixed-concurrency load in the given mode.
+fn drive(
+    addr: &str,
+    mode: &str,
+    clients: usize,
+    requests: usize,
+    n_source: usize,
+) -> ModeRun {
     let started = Instant::now();
-    let samples: Vec<Sample> = std::thread::scope(|scope| {
+    let per_client: Vec<(Vec<Sample>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let addr = addr.to_string();
+                let mode = mode.to_string();
                 scope.spawn(move || {
                     let mut out = Vec::with_capacity(requests);
+                    let mut keepalive =
+                        (mode == "keepalive").then(|| KeepAliveClient::new(&addr));
                     for r in 0..requests {
                         // Distinct id pairs per request; the cache is off,
                         // so this just spreads the query rows around.
                         let a = ((c * requests + r) * 7919) % n_source;
                         let b = (a + 13) % n_source;
-                        out.push(query(&addr, &[a as u32, b as u32], K));
+                        let ids = [a as u32, b as u32];
+                        out.push(match keepalive.as_mut() {
+                            Some(client) => client.query(&ids, K),
+                            None => query_fresh(&addr, &ids, K),
+                        });
                     }
-                    out
+                    let conns = match keepalive {
+                        Some(client) => client.conns_opened,
+                        // Fresh mode opens exactly one connection per
+                        // request by construction.
+                        None => requests as u64,
+                    };
+                    (out, conns)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
+            .map(|h| h.join().expect("client thread"))
             .collect()
     });
-    (samples, started.elapsed().as_secs_f64())
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let mut samples = Vec::with_capacity(clients * requests);
+    let mut conns_opened = 0;
+    for (s, c) in per_client {
+        samples.extend(s);
+        conns_opened += c;
+    }
+    ModeRun {
+        samples,
+        wall_seconds,
+        conns_opened,
+    }
 }
 
 fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx].as_secs_f64() * 1e3
+}
+
+/// Reduces one mode's run to its artifact row.
+fn mode_row(mode: &str, run: ModeRun) -> Map {
+    let total = run.samples.len();
+    let qps = total as f64 / run.wall_seconds;
+    let mean_batch =
+        run.samples.iter().map(|s| s.batch_size as f64).sum::<f64>() / total as f64;
+    let mut sorted: Vec<Duration> = run.samples.iter().map(|s| s.latency).collect();
+    sorted.sort();
+    let p50_ms = percentile_ms(&sorted, 0.50);
+    let p99_ms = percentile_ms(&sorted, 0.99);
+    let requests_per_conn = total as f64 / run.conns_opened as f64;
+    eprintln!(
+        "serve[{mode}]: {total} requests in {:.2}s = {qps:.0} qps, \
+         p50 {p50_ms:.2}ms p99 {p99_ms:.2}ms, mean batch {mean_batch:.1}, \
+         {} conns ({requests_per_conn:.1} req/conn)",
+        run.wall_seconds, run.conns_opened
+    );
+    let mut row = Map::new();
+    row.insert("mode", mode);
+    row.insert("requests", total);
+    row.insert("wall_seconds", run.wall_seconds);
+    row.insert("qps", qps);
+    row.insert("p50_ms", p50_ms);
+    row.insert("p99_ms", p99_ms);
+    row.insert("mean_batch", mean_batch);
+    row.insert("conns_opened", run.conns_opened);
+    row.insert("requests_per_conn", requests_per_conn);
+    row
 }
 
 fn main() {
@@ -192,43 +389,35 @@ fn main() {
 
     // Warmup: fill the pool and fault in the packed operand.
     for w in 0..8 {
-        let _ = query(&addr, &[w as u32], K);
+        let _ = query_fresh(&addr, &[w as u32], K);
     }
 
-    eprintln!("serve: driving {clients} clients x {requests} requests (k={K})...");
-    let (mut samples, wall_seconds) = drive(&addr, clients, requests, n_source);
-    let total = samples.len();
-    let qps = total as f64 / wall_seconds;
-    let mean_batch =
-        samples.iter().map(|s| s.batch_size as f64).sum::<f64>() / total as f64;
-    samples.sort_by_key(|s| s.latency);
-    let sorted: Vec<Duration> = samples.iter().map(|s| s.latency).collect();
-    let p50_ms = percentile_ms(&sorted, 0.50);
-    let p99_ms = percentile_ms(&sorted, 0.99);
-    eprintln!(
-        "serve: {total} requests in {wall_seconds:.2}s = {qps:.0} qps, \
-         p50 {p50_ms:.2}ms p99 {p99_ms:.2}ms, mean batch {mean_batch:.1}"
-    );
+    eprintln!("serve: driving {clients} clients x {requests} requests per mode (k={K})...");
+    let fresh = drive(&addr, "fresh_conn", clients, requests, n_source);
+    let keepalive = drive(&addr, "keepalive", clients, requests, n_source);
+    let total = fresh.samples.len() + keepalive.samples.len();
+    let modes = vec![
+        Json::Obj(mode_row("fresh_conn", fresh)),
+        Json::Obj(mode_row("keepalive", keepalive)),
+    ];
 
     server.shutdown();
     service.stop();
 
     let mut doc = Map::new();
-    doc.insert("schema", "entmatcher/serve-bench/v1");
+    doc.insert("schema", "entmatcher/serve-bench/v2");
     doc.insert(
         "note",
-        "qps over full HTTP round trips at fixed concurrency; p50/p99 from sorted samples; cache off",
+        "per-mode qps over full HTTP round trips at fixed concurrency; p50/p99 from sorted \
+         samples; cache off; fresh_conn reconnects per request, keepalive holds one socket \
+         per client",
     );
     doc.insert("n", entities);
     doc.insert("d", dim);
     doc.insert("k", K);
     doc.insert("clients", clients);
-    doc.insert("requests", total);
-    doc.insert("wall_seconds", wall_seconds);
-    doc.insert("qps", qps);
-    doc.insert("p50_ms", p50_ms);
-    doc.insert("p99_ms", p99_ms);
-    doc.insert("mean_batch", mean_batch);
+    doc.insert("requests_per_mode", clients * requests);
+    doc.insert("modes", Json::Arr(modes));
     doc.insert(
         "threads",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
@@ -239,27 +428,51 @@ fn main() {
     let text = Json::Obj(doc).pretty();
     std::fs::write(&out_path, &text).expect("write BENCH_serve.json");
 
-    // Self-check: parse back and demand finite, sane numbers. Absolute
-    // thresholds live in bench_gate.sh against the committed baseline.
+    // Self-check: parse back and demand finite, sane numbers per mode.
+    // Absolute thresholds live in bench_gate.sh against the committed
+    // baseline.
     let parsed = json::Json::parse(&text).expect("BENCH_serve.json must parse");
-    let qps_back = parsed.get("qps").and_then(|v| v.as_f64()).expect("qps");
-    let p99_back = parsed.get("p99_ms").and_then(|v| v.as_f64()).expect("p99_ms");
-    let p50_back = parsed.get("p50_ms").and_then(|v| v.as_f64()).expect("p50_ms");
-    assert!(qps_back.is_finite() && qps_back > 0.0, "self-check: bad qps {qps_back}");
-    assert!(
-        p99_back.is_finite() && p99_back >= p50_back && p50_back > 0.0,
-        "self-check: bad latency quantiles p50={p50_back} p99={p99_back}"
-    );
-    let batch_back = parsed
-        .get("mean_batch")
-        .and_then(|v| v.as_f64())
-        .expect("mean_batch");
-    assert!(
-        batch_back >= 1.0,
-        "self-check: every served request sits in a batch of >= 1, got {batch_back}"
-    );
+    let modes_back = parsed
+        .get("modes")
+        .and_then(|v| v.as_array())
+        .expect("modes array");
+    assert_eq!(modes_back.len(), 2, "two mode rows");
+    for row in modes_back {
+        let mode = row.get("mode").and_then(|v| v.as_str()).expect("mode name");
+        let qps = row.get("qps").and_then(|v| v.as_f64()).expect("qps");
+        let p99 = row.get("p99_ms").and_then(|v| v.as_f64()).expect("p99_ms");
+        let p50 = row.get("p50_ms").and_then(|v| v.as_f64()).expect("p50_ms");
+        assert!(qps.is_finite() && qps > 0.0, "self-check[{mode}]: bad qps {qps}");
+        assert!(
+            p99.is_finite() && p99 >= p50 && p50 > 0.0,
+            "self-check[{mode}]: bad latency quantiles p50={p50} p99={p99}"
+        );
+        let batch = row
+            .get("mean_batch")
+            .and_then(|v| v.as_f64())
+            .expect("mean_batch");
+        assert!(
+            batch >= 1.0,
+            "self-check[{mode}]: every served request sits in a batch of >= 1, got {batch}"
+        );
+        let per_conn = row
+            .get("requests_per_conn")
+            .and_then(|v| v.as_f64())
+            .expect("requests_per_conn");
+        if mode == "keepalive" {
+            assert!(
+                per_conn > 1.0,
+                "self-check: keepalive clients must reuse connections, got {per_conn} req/conn"
+            );
+        } else {
+            assert!(
+                (per_conn - 1.0).abs() < 1e-9,
+                "self-check: fresh_conn is one request per connection, got {per_conn}"
+            );
+        }
+    }
     println!(
-        "serve bench: wrote {} ({total} requests, {qps:.0} qps, self-check ok)",
+        "serve bench: wrote {} ({total} requests across 2 modes, self-check ok)",
         out_path.display()
     );
 }

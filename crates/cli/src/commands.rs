@@ -472,6 +472,11 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
 /// service's batching queue into single fused-GEMM passes; a bounded LRU
 /// cache (`--cache`) short-circuits repeats.
 ///
+/// Connections are persistent (HTTP keep-alive) and served by the expose
+/// listener's worker pool; `--max-conns` caps open connections at the
+/// listener (503 fast-fail beyond it) and `--max-inflight` caps
+/// concurrently-admitted requests in the service (429 + `Retry-After`).
+///
 /// Observability wiring:
 /// - with `--trace FILE`, every request records a `serve.request` span
 ///   tree tagged with its `req_id` (exported by the surrounding
@@ -490,7 +495,9 @@ fn cmd_match(args: &ParsedArgs) -> Result<String, CliError> {
 /// [`MatchService`]: entmatcher_core::MatchService
 fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
     use entmatcher_core::{MatchService, ServeConfig, TargetIndex};
-    use entmatcher_support::telemetry::expose::{MetricsServer, Request, Response, Routes};
+    use entmatcher_support::telemetry::expose::{
+        MetricsServer, Request, Response, Routes, ServerConfig,
+    };
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
 
@@ -520,8 +527,15 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         batch_max: args.get_u64("batch-max", 64)?.max(1) as usize,
         batch_wait: Duration::from_micros(args.get_u64("batch-wait-us", 500)?),
         k_max: args.get_u64("k-max", 1024)?.max(1) as usize,
+        max_inflight: args.get_u64("max-inflight", 256)? as usize,
         slow_ms: entmatcher_core::serve::env_slow_ms(),
         record_spans: args.get("trace").is_some(),
+    };
+    let max_conns = args.get_u64("max-conns", 256)?.max(1) as usize;
+    let server_cfg = ServerConfig {
+        max_conns,
+        workers: max_conns.min(16),
+        ..ServerConfig::default()
     };
 
     let mut emb = load_embeddings(emb_dir, stream_chunk)?;
@@ -552,19 +566,11 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
                     let (flag, cv) = &*shutdown;
                     *flag.lock().expect("shutdown lock poisoned") = true;
                     cv.notify_all();
-                    Some(Response {
-                        status: "200 OK",
-                        content_type: "text/plain",
-                        body: "shutting down\n".into(),
-                    })
+                    Some(Response::text("200 OK", "shutting down\n"))
                 }
                 // Intercept the built-in health check so it is timed like
                 // every other endpoint; the body matches the built-in's.
-                ("GET", "/healthz") => Some(Response {
-                    status: "200 OK",
-                    content_type: "text/plain",
-                    body: "ok\n".into(),
-                }),
+                ("GET", "/healthz") => Some(Response::text("200 OK", "ok\n")),
                 _ => None,
             };
             if resp.is_some() {
@@ -580,10 +586,10 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         paths: vec!["/match/topk".into(), "/shutdown".into()],
         handler: Arc::new(handler),
     };
-    let server = MetricsServer::start_with_routes(
+    let server = MetricsServer::start_with_config(
         telemetry::global(),
         &addr,
-        Duration::from_millis(250),
+        server_cfg,
         Some(routes),
     )
     .map_err(|e| CliError::Failed(format!("serve --addr {addr}: {e}")))?;
@@ -604,11 +610,11 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
             done = cv.wait(done).expect("shutdown lock poisoned");
         }
     }
-    // Let the /shutdown connection thread flush its response before the
-    // listener goes away.
-    std::thread::sleep(Duration::from_millis(50));
-    service.stop();
+    // Server first: its shutdown drains every in-flight connection worker
+    // (the /shutdown response included), so all requests finish — and
+    // record complete span trees — before the batch worker is stopped.
     server.shutdown();
+    service.stop();
     Ok(format!(
         "serve: shut down http://{bound} ({} cached top-k entries)",
         service.cache_len()

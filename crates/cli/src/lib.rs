@@ -69,14 +69,21 @@ commands:
   serve     --embeddings DIR [--addr HOST:PORT] [--precision <f32|f16|int8>]
             [--candidates <exact|ivf>] [--nlist N] [--nprobe N]
             [--stream-chunk ROWS] [--cache N] [--batch-max N]
-            [--batch-wait-us USEC] [--k-max N] [--trace FILE]
+            [--batch-wait-us USEC] [--k-max N] [--max-conns N]
+            [--max-inflight N] [--trace FILE]
             Serve online top-k matching over HTTP: POST /match/topk
             (JSON {\"ids\": [..]} or {\"queries\": [[..]]} plus \"k\")
-            shares one listener with GET /metrics and GET /healthz.
-            Concurrent requests coalesce into single fused-GEMM passes
-            (up to --batch-max per pass, lingering --batch-wait-us);
-            --cache bounds the LRU top-k cache (0 disables). Rows are
-            L2-normalized at load, so scores are cosine similarities.
+            shares one keep-alive listener with GET /metrics and GET
+            /healthz (persistent connections; idle ones are evicted
+            after 5 s). Concurrent requests coalesce into single
+            fused-GEMM passes (up to --batch-max per pass, lingering
+            --batch-wait-us); --cache bounds the LRU top-k cache (0
+            disables). Admission control: --max-conns (default 256)
+            caps open connections (503 + Retry-After beyond it) and
+            --max-inflight (default 256, 0 = unlimited) caps
+            concurrently-inflight requests (429 + Retry-After). Rows
+            are L2-normalized at load, so scores are cosine
+            similarities.
             Every response carries a req_id; with --trace each request
             records a serve.request span tree tagged with it, and
             ENTMATCHER_SLOW_MS=N logs slower requests as JSON lines on

@@ -225,6 +225,106 @@ fn serve_coalesces_traces_and_caches() {
     std::fs::remove_dir_all(&root).unwrap();
 }
 
+/// Keep-alive against the real binary: several requests on one socket,
+/// plus admission control — `--max-inflight 1` under overlapping clients
+/// must produce at least one 429 with a Retry-After hint while the
+/// admitted requests still succeed.
+#[test]
+fn serve_keepalive_and_admission_control() {
+    let (root, emb) = setup("keepalive");
+    let (mut child, addr) = spawn_serve(
+        &emb,
+        &["--max-inflight", "1", "--batch-wait-us", "300000", "--cache", "0"],
+    );
+
+    // One socket, three request/response exchanges — no Connection: close
+    // until the last.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for round in 0..3 {
+        let body = format!("{{\"ids\": [{round}], \"k\": 2}}");
+        write!(
+            stream,
+            "POST /match/topk HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        // Read one framed response off the persistent socket.
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "server closed a keep-alive socket early");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        assert!(head.starts_with("HTTP/1.1 200"), "round {round}: {head}");
+        assert!(head.contains("Connection: keep-alive"), "round {round}: {head}");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        while buf.len() < head_end + len {
+            let n = stream.read(&mut chunk).expect("read body");
+            assert!(n > 0);
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let doc = Json::parse(&String::from_utf8_lossy(&buf[head_end..head_end + len]))
+            .expect("json body");
+        assert_eq!(doc["cached"][0].as_bool(), Some(false));
+    }
+    drop(stream);
+
+    // Saturate: 6 overlapping clients against max_inflight 1 and a long
+    // batch linger. At least one is admitted and at least one is 429'd.
+    let n_clients = 6;
+    let statuses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|i| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let body = format!("{{\"ids\": [{i}], \"k\": 2}}");
+                    let resp = http(&addr, "POST", "/match/topk", &body);
+                    resp.lines().next().unwrap_or("").to_owned()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        statuses.iter().any(|s| s.contains("200 OK")),
+        "some request must be admitted: {statuses:?}"
+    );
+    assert!(
+        statuses.iter().any(|s| s.contains("429")),
+        "overload must fast-fail some request: {statuses:?}"
+    );
+    let rejected = http(&addr, "POST", "/match/topk", "{\"ids\": [0], \"k\": 2}");
+    // The saturation window is over, so this one is admitted — and the
+    // rejections are visible on /metrics.
+    assert!(rejected.starts_with("HTTP/1.1 200"), "{rejected}");
+    let metrics = http(&addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("entmatcher_serve_rejected_total"),
+        "rejected counter missing: {metrics}"
+    );
+    assert!(metrics.contains("entmatcher_http_open_connections"));
+    assert!(metrics.contains("entmatcher_http_requests_per_conn_count"));
+
+    let down = http(&addr, "POST", "/shutdown", "");
+    assert!(down.starts_with("HTTP/1.1 200 OK"), "{down}");
+    assert!(child.wait().unwrap().success());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 /// Quantized + IVF serving end to end: the self-match still ranks first
 /// and the server answers id- and row-queries consistently.
 #[test]

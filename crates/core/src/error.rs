@@ -19,6 +19,12 @@ pub enum CoreError {
         /// Human-readable constraint.
         constraint: &'static str,
     },
+    /// The serving layer's inflight admission limit was hit; the caller
+    /// should retry after the hinted backoff (maps to HTTP 429).
+    Overloaded {
+        /// Suggested client backoff in seconds (`Retry-After`).
+        retry_after_s: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +38,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::BadParameter { name, constraint } => {
                 write!(f, "invalid parameter {name}: {constraint}")
+            }
+            CoreError::Overloaded { retry_after_s } => {
+                write!(f, "server overloaded; retry after {retry_after_s}s")
             }
         }
     }

@@ -20,6 +20,12 @@
 //! cache keyed by query content (`(entity id | row-bits hash, k)`) short-
 //! circuits repeats entirely.
 //!
+//! Admission control bounds the inflight population: past
+//! [`ServeConfig::max_inflight`] concurrent requests, new arrivals fail
+//! fast with [`CoreError::Overloaded`] — the HTTP glue maps it to `429
+//! Too Many Requests` plus a `Retry-After` hint — rather than growing
+//! the batch queue without bound under overload.
+//!
 //! # Observability (the headline)
 //!
 //! Every request gets a process-unique `req_id`, returned in the response
@@ -43,7 +49,8 @@
 //! always recorded:
 //!
 //! - counters `serve.requests`, `serve.batches`, `serve.batched_requests`,
-//!   `serve.cache.hits`, `serve.cache.misses`;
+//!   `serve.cache.hits`, `serve.cache.misses`, and `serve.rejected`
+//!   (admission fast-fails);
 //! - gauges `serve.queue_depth`, `serve.inflight`,
 //!   `serve.cache_hit_ratio`;
 //! - histograms `serve.batch_size` and the per-endpoint
@@ -103,6 +110,11 @@ pub struct ServeConfig {
     pub batch_wait: Duration,
     /// Upper bound on per-request `k` (clamped, not rejected).
     pub k_max: usize,
+    /// Admission control: maximum concurrently-inflight requests before
+    /// new arrivals fast-fail with [`CoreError::Overloaded`] (HTTP 429 +
+    /// `Retry-After`) instead of growing the batch queue without bound.
+    /// `0` disables the limit.
+    pub max_inflight: usize,
     /// Requests slower than this emit a slow-query JSON line on stderr.
     pub slow_ms: Option<u64>,
     /// Whether to record per-request span trees into the telemetry
@@ -121,6 +133,7 @@ impl Default for ServeConfig {
             batch_max: 64,
             batch_wait: Duration::from_micros(500),
             k_max: 1024,
+            max_inflight: 0,
             slow_ms: env_slow_ms(),
             record_spans: false,
         }
@@ -397,6 +410,16 @@ impl MatchService {
         let started = Instant::now();
         let inflight = inner.inflight.fetch_add(1, Ordering::Relaxed) + 1;
         t.set_gauge("serve.inflight", inflight as f64);
+        // Admission control: beyond the configured inflight limit, fail
+        // fast with a retry hint instead of queueing. The increment above
+        // is what makes the check race-free between concurrent arrivals.
+        let max = inner.cfg.max_inflight;
+        if max > 0 && inflight > max as u64 {
+            let inflight = inner.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+            t.set_gauge("serve.inflight", inflight as f64);
+            t.add("serve.rejected", 1);
+            return Err(CoreError::Overloaded { retry_after_s: 1 });
+        }
         let out = self.top_k_inner(req_id, query, k, started, t);
         let inflight = inner.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
         t.set_gauge("serve.inflight", inflight as f64);
@@ -613,11 +636,12 @@ fn worker_loop(inner: &Arc<Inner>) {
                 if inner.stop.load(Ordering::Relaxed) {
                     return;
                 }
+                // Plain wait, no poll interval: `stop()` and every enqueue
+                // notify the condvar, so an idle worker makes no wakeups.
                 queue = inner
                     .available
-                    .wait_timeout(queue, Duration::from_millis(50))
-                    .expect("serve queue lock poisoned")
-                    .0;
+                    .wait(queue)
+                    .expect("serve queue lock poisoned");
             }
         };
         let mut batch = vec![first];
@@ -846,6 +870,9 @@ impl MatchService {
         };
         match self.top_k(&query, k) {
             Ok(res) => Response::json(render_topk_json(&res, k)),
+            Err(CoreError::Overloaded { retry_after_s }) => {
+                Response::too_many_requests(retry_after_s)
+            }
             Err(e) => Response::bad_request(&e.to_string()),
         }
     }
@@ -1054,6 +1081,53 @@ mod tests {
         );
         assert!(hit_names.contains(&"serve.cache"));
         assert_eq!(trace.counter("serve.cache.hits"), Some(1));
+    }
+
+    #[test]
+    fn saturated_inflight_fast_fails_with_overloaded() {
+        let _lock = telemetry_test_lock();
+        entmatcher_support::telemetry::reset();
+        entmatcher_support::telemetry::set_enabled(true);
+        let svc = toy_service(ServeConfig {
+            max_inflight: 1,
+            cache_capacity: 0,
+            // A long linger holds the admitted request inflight while the
+            // second one arrives.
+            batch_wait: Duration::from_millis(400),
+            batch_max: 64,
+            ..ServeConfig::default()
+        });
+        std::thread::scope(|scope| {
+            let svc = &svc;
+            let admitted = scope.spawn(move || svc.top_k(&Query::Ids(vec![0]), 2));
+            // Wait until the admitted request is measurably inflight.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while svc.inner.inflight.load(Ordering::Relaxed) == 0 {
+                assert!(Instant::now() < deadline, "first request never started");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let rejected = svc.top_k(&Query::Ids(vec![1]), 2);
+            assert!(
+                matches!(rejected, Err(CoreError::Overloaded { retry_after_s: 1 })),
+                "second request must fast-fail past max_inflight: {rejected:?}"
+            );
+            // The HTTP glue maps the same condition to a 429 + Retry-After.
+            let resp = svc.handle_topk(br#"{"ids": [1], "k": 2}"#);
+            assert_eq!(resp.status, "429 Too Many Requests");
+            assert!(
+                resp.headers.iter().any(|(k, v)| *k == "Retry-After" && v == "1"),
+                "{:?}",
+                resp.headers
+            );
+            assert!(admitted.join().unwrap().is_ok(), "admitted request completes");
+        });
+        // Rejections never decremented below zero and were counted.
+        assert_eq!(svc.inner.inflight.load(Ordering::Relaxed), 0);
+        svc.stop();
+        let trace = entmatcher_support::telemetry::snapshot();
+        entmatcher_support::telemetry::set_enabled(false);
+        assert_eq!(trace.counter("serve.rejected"), Some(2));
+        // A fresh request after the saturation window is admitted again.
     }
 
     #[test]

@@ -228,8 +228,10 @@ echo "verify: flight recorder smoke passed"
 
 # Serve smoke, in both execution configs: start the online matching
 # service on an ephemeral port, answer one top-k query, check /healthz,
-# and scrape /metrics for the per-endpoint request_seconds histogram —
-# then shut it down cleanly over POST /shutdown and require exit 0.
+# exercise keep-alive (two requests reusing one TCP connection), and
+# scrape /metrics for the per-endpoint request_seconds histogram plus
+# the connection gauges — then shut it down cleanly over POST /shutdown
+# and require exit 0.
 for MODE in default degenerate; do
     if [ "$MODE" = "degenerate" ]; then
         MODE_ENV="ENTMATCHER_THREADS=1 ENTMATCHER_SIMD=off"
@@ -264,6 +266,14 @@ for MODE in default degenerate; do
         kill "$SERVE_PID" 2>/dev/null || true
         exit 1
     }
+    # Keep-alive: issue two requests in one curl invocation and require
+    # that the second reuses the first's connection instead of redialing.
+    curl -sv "http://$SERVE_ADDR/healthz" "http://$SERVE_ADDR/healthz" \
+        2>&1 | grep -qi "re-using existing connection" || {
+        echo "verify: [$MODE] serve did not keep the connection alive" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
     SERVE_SCRAPE=""
     for _ in $(seq 1 100); do
         SERVE_SCRAPE=$(curl -sf "http://$SERVE_ADDR/metrics" || true)
@@ -279,6 +289,16 @@ for MODE in default degenerate; do
     }
     echo "$SERVE_SCRAPE" | grep -q "entmatcher_serve_requests_total" || {
         echo "verify: [$MODE] serve.requests counter missing on /metrics" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
+    echo "$SERVE_SCRAPE" | grep -q "entmatcher_http_open_connections" || {
+        echo "verify: [$MODE] open_connections gauge missing on /metrics" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    }
+    echo "$SERVE_SCRAPE" | grep -q "entmatcher_http_requests_per_conn_count" || {
+        echo "verify: [$MODE] requests_per_conn histogram missing on /metrics" >&2
         kill "$SERVE_PID" 2>/dev/null || true
         exit 1
     }
